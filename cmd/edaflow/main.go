@@ -1,0 +1,93 @@
+// Command edaflow runs the full four-stage EDA flow — synthesis,
+// placement, routing, static timing — on one design and prints the
+// artifacts each stage produces, plus (optionally) the per-stage
+// performance profile under a chosen VM configuration.
+//
+// Usage:
+//
+//	edaflow -design ibex -scale 0.05 -recipe resyn2 -vcpus 4
+//	edaflow -bench multiplier -scale 0.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"edacloud/internal/aig"
+	"edacloud/internal/core"
+	"edacloud/internal/designs"
+	"edacloud/internal/perf"
+	"edacloud/internal/synth"
+	"edacloud/internal/techlib"
+)
+
+func main() {
+	design := flag.String("design", "", "evaluation design name (dyn_node..sparc_core)")
+	bench := flag.String("bench", "", "benchmark name (adder..voter); alternative to -design")
+	scale := flag.Float64("scale", 0.05, "design scale factor")
+	recipeName := flag.String("recipe", "resyn2", "synthesis recipe (raw, b, rw, rf, resyn, resyn2, compress, deep)")
+	vcpus := flag.Int("vcpus", 4, "VM vCPU count for the performance profile")
+	registers := flag.Bool("registers", false, "register all primary outputs behind DFFs")
+	clock := flag.Float64("clock", 1.0, "clock period for STA (ns)")
+	flag.Parse()
+
+	var g *aig.Graph
+	var err error
+	switch {
+	case *design != "":
+		g, err = designs.EvalDesign(*design, *scale)
+	case *bench != "":
+		g, err = designs.Benchmark(*bench, *scale)
+	default:
+		g, err = designs.EvalDesign("ibex", *scale)
+	}
+	if err != nil {
+		fail(err)
+	}
+	recipe, err := synth.RecipeByName(*recipeName)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("Design %s: %v\n", g.Name, g.Stats())
+
+	lib := techlib.Default14nm()
+	estCells := core.EstimateCells(g.NumAnds())
+	flow, err := core.RunFlow(g, lib, core.FlowOptions{
+		Recipe:          recipe,
+		RegisterOutputs: *registers,
+		ClockPeriodNs:   *clock,
+		NewProbe: func(core.JobKind) *perf.Probe {
+			return core.NewJobProbe(*vcpus, estCells)
+		},
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("\nSynthesis  (%s): %v -> %s\n", recipe.Name, flow.Optimized.Stats(), flow.Netlist.Stats())
+	fmt.Printf("Placement  : die %.1f x %.1f um, HPWL %.1f um (global %.1f), overflow %.3f\n",
+		flow.Placement.DieW, flow.Placement.DieH, flow.Placement.HPWL,
+		flow.Placement.HPWLGlobal, flow.Placement.Overflow)
+	fmt.Printf("Routing    : grid %dx%d, %d connections, wirelength %d, overflow %d, %d RRR iters\n",
+		flow.Routing.GridW, flow.Routing.GridH, flow.Routing.Connections,
+		flow.Routing.Wirelength, flow.Routing.Overflow, flow.Routing.Iterations)
+	fmt.Printf("STA        : max arrival %.3f ns, WNS %.3f ns, TNS %.3f ns over %d endpoints\n",
+		flow.Timing.MaxArrival, flow.Timing.WNS, flow.Timing.TNS, flow.Timing.Endpoints)
+	fmt.Printf("Critical path: %d cells\n", len(flow.Timing.CriticalPath))
+
+	fmt.Printf("\nPerformance profile at %d vCPUs:\n", *vcpus)
+	m := perf.Xeon14(*vcpus)
+	for _, k := range core.JobKinds() {
+		rep := flow.Reports[k]
+		c := rep.Total()
+		fmt.Printf("  %-10s %12d instr, %6.2f%% br-miss, %5.1f%% cache-miss, %5.1f%% AVX, %.4fs\n",
+			k, c.Instrs, c.BranchMissPct(), c.CacheMissPct(), c.FPVectorPct(), m.Seconds(rep))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "edaflow:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,157 @@
+// Command optimize regenerates the paper's deployment-optimization
+// experiments: Table I (minimum-cost machine selection per flow stage
+// under total-runtime constraints, with NA for infeasible deadlines)
+// and Fig. 6 (cost and runtime of the optimizer against the
+// over-provisioning and under-provisioning baselines on four designs).
+//
+// Usage:
+//
+//	optimize -table1 -design sparc_core
+//	optimize -figure6
+//	optimize -table1 -deadlines 10000,6000,5645,5000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"edacloud/internal/cloud"
+	"edacloud/internal/core"
+	"edacloud/internal/techlib"
+)
+
+func main() {
+	design := flag.String("design", "sparc_core", "design for Table I")
+	scale := flag.Float64("scale", 0.03, "design scale factor")
+	table1 := flag.Bool("table1", false, "regenerate Table I")
+	figure6 := flag.Bool("figure6", false, "regenerate Figure 6")
+	deadlineList := flag.String("deadlines", "", "comma-separated deadline seconds for Table I (default: derived from the design)")
+	slack := flag.Float64("slack", 1.1, "Figure 6 deadline as a multiple of the fastest schedule")
+	flag.Parse()
+
+	if !*table1 && !*figure6 {
+		*table1 = true
+		*figure6 = true
+	}
+
+	lib := techlib.Default14nm()
+	catalog := cloud.DefaultCatalog()
+	opts := core.CharacterizeOptions{Scale: *scale}
+
+	if *table1 {
+		prob := buildProblem(lib, catalog, *design, opts)
+		fmt.Printf("Table I: minimizing deployment cost for %s under runtime constraints\n\n", *design)
+		printStageTable(prob)
+
+		deadlines := parseDeadlines(*deadlineList)
+		if deadlines == nil {
+			minTime := prob.MinTime()
+			under := prob.UnderProvision()
+			deadlines = []int{
+				under.TotalTime,
+				(minTime + under.TotalTime) / 2,
+				minTime + (under.TotalTime-minTime)/10,
+				minTime,
+				minTime - minTime/10,
+			}
+		}
+		rows, err := prob.TableI(deadlines)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("\n%-12s %-52s %10s %10s\n", "constraint", "selection", "total time", "cost ($)")
+		for _, r := range rows {
+			if !r.Plan.Feasible {
+				fmt.Printf("%-12d %-52s %10s %10s\n", r.DeadlineSec, "NA", "NA", "NA")
+				continue
+			}
+			fmt.Printf("%-12d %-52s %9ds %10.4f\n",
+				r.DeadlineSec, picksString(r.Plan), r.Plan.TotalTime, r.Plan.TotalCost)
+		}
+	}
+
+	if *figure6 {
+		fmt.Println("\nFigure 6: cost savings vs provisioning policies")
+		fmt.Printf("%-12s %12s %12s %12s %10s %12s\n",
+			"design", "over ($)", "opt ($)", "under ($)", "saving", "opt overhead")
+		var totalSaving float64
+		designsList := []string{"sparc_core", "coyote", "ariane", "swerv"}
+		for _, d := range designsList {
+			prob := buildProblem(lib, catalog, d, opts)
+			cmp, err := core.CompareProvisioning(prob, *slack)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("%-12s %12.4f %12.4f %12.4f %9.1f%% %11.1f%%\n",
+				d, cmp.Over.TotalCost, cmp.Opt.TotalCost, cmp.Under.TotalCost,
+				cmp.SavingVsOverPct, cmp.OverheadVsBestPct)
+			totalSaving += cmp.SavingVsOverPct
+		}
+		fmt.Printf("\nAverage saving vs over-provisioning: %.2f%% (paper: 35.29%%)\n",
+			totalSaving/float64(len(designsList)))
+	}
+}
+
+func buildProblem(lib *techlib.Library, catalog *cloud.Catalog, design string, opts core.CharacterizeOptions) *core.DeploymentProblem {
+	char, err := core.CharacterizeEval(lib, design, opts)
+	if err != nil {
+		fail(err)
+	}
+	prob, err := core.BuildDeploymentProblem(char, catalog)
+	if err != nil {
+		fail(err)
+	}
+	return prob
+}
+
+func printStageTable(prob *core.DeploymentProblem) {
+	fmt.Printf("%-12s %-18s", "task", "family")
+	for _, c := range prob.Stages[0] {
+		fmt.Printf("%10dv", c.Instance.VCPUs)
+	}
+	fmt.Println()
+	for i, stage := range prob.Stages {
+		k := core.JobKinds()[i]
+		fmt.Printf("%-12s %-18s", k, stage[0].Instance.Family)
+		for _, c := range stage {
+			fmt.Printf("%10.0fs", c.Seconds)
+		}
+		fmt.Println()
+		fmt.Printf("%-12s %-18s", "", "cost ($)")
+		for _, c := range stage {
+			fmt.Printf("%11.4f", c.Cost)
+		}
+		fmt.Println()
+	}
+}
+
+func picksString(p *core.Plan) string {
+	parts := make([]string, len(p.Picks))
+	for i, pick := range p.Picks {
+		parts[i] = fmt.Sprintf("%s:%s", pick.Job, pick.Instance.Name)
+	}
+	return strings.Join(parts, " ")
+}
+
+func parseDeadlines(s string) []int {
+	if s == "" {
+		return nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			fail(fmt.Errorf("bad deadline %q: %w", f, err))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "optimize:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,60 @@
+// Multi-tenant study: the paper characterizes EDA jobs inside Linux
+// control groups to emulate cloud multi-tenancy. This example runs the
+// same experiment with the cgroup scheduler model: one routing job
+// confined to a quota while noisy neighbours of growing demand share
+// the 14-core host, showing how interference stretches the job's
+// runtime — the risk the paper's VM recommendations guard against.
+//
+//	go run ./examples/multitenant
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"edacloud/internal/cloud"
+	"edacloud/internal/core"
+	"edacloud/internal/techlib"
+)
+
+func main() {
+	lib := techlib.Default14nm()
+	host := cloud.DefaultHost()
+
+	fmt.Printf("Host: %d cores, job: routing of ibex confined to 8 vCPUs\n\n", host.Cores)
+	fmt.Printf("%-22s %12s %12s %10s\n", "background", "CPU granted", "slowdown", "runtime")
+
+	for _, bg := range []struct {
+		name    string
+		tenants []cloud.CGroup
+	}{
+		{"idle host", nil},
+		{"1 tenant x 7 cores", []cloud.CGroup{{Name: "t1", DemandCores: 7}}},
+		{"2 tenants x 10 cores", []cloud.CGroup{
+			{Name: "t1", DemandCores: 10}, {Name: "t2", DemandCores: 10}}},
+		{"4 tenants x 14 cores", []cloud.CGroup{
+			{Name: "t1", DemandCores: 14}, {Name: "t2", DemandCores: 14},
+			{Name: "t3", DemandCores: 14}, {Name: "t4", DemandCores: 14}}},
+	} {
+		char, err := core.CharacterizeEval(lib, "ibex", core.CharacterizeOptions{
+			Scale:      0.03,
+			VCPUs:      []int{8},
+			Background: bg.tenants,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := char.Profile(core.JobRouting, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		slow, err := host.Interference(8, bg.tenants)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %11.2fc %11.0f%% %9.0fs\n",
+			bg.name, 8/(1+slow), 100*slow, p.Seconds)
+	}
+	fmt.Println("\nWeighted fair sharing (cpu.shares) splits the host; quotas cap the job.")
+	fmt.Println("Dedicated (single-tenant) instances avoid the stretch entirely.")
+}

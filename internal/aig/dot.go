@@ -1,0 +1,48 @@
+package aig
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteDot emits the graph in Graphviz DOT form for visual inspection:
+// inputs as boxes, AND nodes as circles, outputs as double circles,
+// with dashed edges marking complemented fanins. Intended for small
+// graphs (debugging rewrites, documenting examples); the output of a
+// 200k-node design is valid but unreadable.
+func (g *Graph) WriteDot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n  rankdir=BT;\n", g.Name)
+	for i, v := range g.inputs {
+		label := g.inNames[i]
+		if label == "" {
+			label = fmt.Sprintf("i%d", i)
+		}
+		fmt.Fprintf(bw, "  n%d [shape=box, label=%q];\n", v, label)
+	}
+	g.TopoAnds(func(v int, f0, f1 Lit) {
+		fmt.Fprintf(bw, "  n%d [shape=circle, label=\"\"];\n", v)
+		for _, f := range []Lit{f0, f1} {
+			style := "solid"
+			if f.IsNeg() {
+				style = "dashed"
+			}
+			fmt.Fprintf(bw, "  n%d -> n%d [style=%s];\n", f.Var(), v, style)
+		}
+	})
+	for i, o := range g.outputs {
+		label := g.outNames[i]
+		if label == "" {
+			label = fmt.Sprintf("o%d", i)
+		}
+		fmt.Fprintf(bw, "  out%d [shape=doublecircle, label=%q];\n", i, label)
+		style := "solid"
+		if o.IsNeg() {
+			style = "dashed"
+		}
+		fmt.Fprintf(bw, "  n%d -> out%d [style=%s];\n", o.Var(), i, style)
+	}
+	fmt.Fprintf(bw, "}\n")
+	return bw.Flush()
+}

@@ -1,0 +1,136 @@
+// Package core implements the paper's end-to-end workflow (its
+// Fig. 1): characterize the four EDA applications under different VM
+// configurations, predict per-configuration runtimes for unseen
+// designs with the GCN model, and optimize cloud deployments with the
+// multi-choice knapsack solver so deadlines are met at minimum cost.
+package core
+
+import (
+	"fmt"
+
+	"edacloud/internal/aig"
+	"edacloud/internal/cloud"
+	"edacloud/internal/netlist"
+	"edacloud/internal/perf"
+	"edacloud/internal/place"
+	"edacloud/internal/route"
+	"edacloud/internal/sta"
+	"edacloud/internal/synth"
+	"edacloud/internal/techlib"
+)
+
+// JobKind identifies one of the four characterized EDA applications.
+type JobKind int
+
+// The four applications of the paper's characterization.
+const (
+	JobSynthesis JobKind = iota
+	JobPlacement
+	JobRouting
+	JobSTA
+)
+
+// JobKinds lists all four in flow order.
+func JobKinds() []JobKind {
+	return []JobKind{JobSynthesis, JobPlacement, JobRouting, JobSTA}
+}
+
+func (k JobKind) String() string {
+	switch k {
+	case JobSynthesis:
+		return "synthesis"
+	case JobPlacement:
+		return "placement"
+	case JobRouting:
+		return "routing"
+	case JobSTA:
+		return "sta"
+	}
+	return fmt.Sprintf("job(%d)", int(k))
+}
+
+// RecommendedFamily returns the paper's instance-family recommendation
+// (Sec. III.A takeaways): synthesis and STA on general-purpose VMs,
+// placement and routing on memory-optimized VMs.
+func RecommendedFamily(k JobKind) cloud.Family {
+	switch k {
+	case JobPlacement, JobRouting:
+		return cloud.MemoryOptimized
+	default:
+		return cloud.GeneralPurpose
+	}
+}
+
+// FlowOptions configures a full 4-stage flow run.
+type FlowOptions struct {
+	Recipe          synth.Recipe
+	RegisterOutputs bool
+	ClockPeriodNs   float64
+	// NewProbe creates the per-job instrumentation; nil runs the flow
+	// uninstrumented. A fresh probe per job mirrors the paper's setup,
+	// where each application runs as its own profiled process.
+	NewProbe func(JobKind) *perf.Probe
+	// RouteWorkers enables real goroutine parallelism in uninstrumented
+	// routing.
+	RouteWorkers int
+}
+
+// FlowResult bundles the artifacts and profiles of one flow run.
+type FlowResult struct {
+	Optimized *aig.Graph
+	Netlist   *netlist.Netlist
+	Placement *place.Placement
+	Routing   *route.Result
+	Timing    *sta.Result
+	Reports   map[JobKind]*perf.Report
+}
+
+// RunFlow executes synthesis, placement, routing and STA on the design
+// and returns all artifacts plus one performance report per job.
+func RunFlow(g *aig.Graph, lib *techlib.Library, opts FlowOptions) (*FlowResult, error) {
+	probeFor := opts.NewProbe
+	if probeFor == nil {
+		probeFor = func(JobKind) *perf.Probe { return nil }
+	}
+	out := &FlowResult{Reports: map[JobKind]*perf.Report{}}
+
+	sres, err := synth.Synthesize(g, lib, synth.Options{
+		Recipe:          opts.Recipe,
+		RegisterOutputs: opts.RegisterOutputs,
+		Probe:           probeFor(JobSynthesis),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: synthesis: %w", err)
+	}
+	out.Optimized = sres.Optimized
+	out.Netlist = sres.Netlist
+	out.Reports[JobSynthesis] = sres.Report
+
+	pl, preport, err := place.Place(out.Netlist, place.Options{Probe: probeFor(JobPlacement)})
+	if err != nil {
+		return nil, fmt.Errorf("core: placement: %w", err)
+	}
+	out.Placement = pl
+	out.Reports[JobPlacement] = preport
+
+	rres, rreport, err := route.Route(out.Netlist, pl, route.Options{
+		Probe:   probeFor(JobRouting),
+		Workers: opts.RouteWorkers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: routing: %w", err)
+	}
+	out.Routing = rres
+	out.Reports[JobRouting] = rreport
+
+	tres, treport, err := sta.Analyze(out.Netlist, pl, sta.Options{
+		ClockPeriodNs: opts.ClockPeriodNs,
+		Probe:         probeFor(JobSTA),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: sta: %w", err)
+	}
+	out.Timing = tres
+	out.Reports[JobSTA] = treport
+	return out, nil
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"edacloud/internal/cloud"
+	"edacloud/internal/mckp"
+)
+
+// StageChoice is one (stage, instance) runtime/cost point — one cell
+// of the paper's Table I.
+type StageChoice struct {
+	Job      JobKind
+	Instance cloud.InstanceType
+	Seconds  float64
+	Cost     float64
+}
+
+// DeploymentProblem is the optimizer input: for each flow stage, the
+// runtime and cost of every candidate instance size from the stage's
+// recommended family.
+type DeploymentProblem struct {
+	Design  string
+	Stages  [][]StageChoice // [job][size]
+	Classes []mckp.Class
+}
+
+// BuildDeploymentProblem converts a characterization into the MCKP
+// instance of the paper's Sec. III.C: each job's candidates come from
+// its recommended family (general-purpose lacks AVX in the catalog, so
+// synthesis/STA runtimes are re-derived on non-AVX machines), costs
+// follow per-second billing of the family's price.
+func BuildDeploymentProblem(char *DesignCharacterization, catalog *cloud.Catalog) (*DeploymentProblem, error) {
+	prob := &DeploymentProblem{Design: char.Design}
+	for _, k := range JobKinds() {
+		fam := RecommendedFamily(k)
+		var choices []StageChoice
+		cl := mckp.Class{Name: k.String()}
+		for vi, v := range char.VCPUs {
+			it, err := catalog.Size(fam, v)
+			if err != nil {
+				return nil, err
+			}
+			prof := char.Profiles[vi][int(k)]
+			// Re-derive runtime on the family's silicon (AVX presence)
+			// from the profiled event counts.
+			m := machineFor(v, it.AVX, 0, char.WorkScale)
+			secs := m.Seconds(prof.Report)
+			cost := it.Cost(secs)
+			choices = append(choices, StageChoice{Job: k, Instance: it, Seconds: secs, Cost: cost})
+			cl.Items = append(cl.Items, mckp.Item{
+				Label:   it.Name,
+				TimeSec: int(math.Ceil(secs)),
+				Cost:    cost,
+			})
+		}
+		prob.Stages = append(prob.Stages, choices)
+		prob.Classes = append(prob.Classes, cl)
+	}
+	return prob, nil
+}
+
+// Plan is an optimized deployment: one instance per stage.
+type Plan struct {
+	Feasible  bool
+	Picks     []StageChoice // aligned with JobKinds()
+	TotalTime int
+	TotalCost float64
+}
+
+func (p *Plan) String() string {
+	if !p.Feasible {
+		return "NA"
+	}
+	s := ""
+	for i, pick := range p.Picks {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%s", pick.Job, pick.Instance.Name)
+	}
+	return fmt.Sprintf("%s time=%ds cost=$%.2f", s, p.TotalTime, p.TotalCost)
+}
+
+func planFromSelection(prob *DeploymentProblem, sel mckp.Selection) *Plan {
+	if !sel.Feasible {
+		return &Plan{Feasible: false}
+	}
+	p := &Plan{Feasible: true, TotalTime: sel.TotalTime, TotalCost: sel.TotalCost}
+	for l, j := range sel.Pick {
+		p.Picks = append(p.Picks, prob.Stages[l][j])
+	}
+	return p
+}
+
+// Optimize picks the cost-minimal feasible deployment under the
+// deadline (seconds), the paper's Table I computation.
+func (prob *DeploymentProblem) Optimize(deadlineSec int) (*Plan, error) {
+	sel, err := mckp.SolveMinCost(prob.Classes, deadlineSec)
+	if err != nil {
+		return nil, err
+	}
+	return planFromSelection(prob, sel), nil
+}
+
+// OptimizePaperObjective runs the paper's literal formulation
+// (maximize sum of reciprocal prices).
+func (prob *DeploymentProblem) OptimizePaperObjective(deadlineSec int) (*Plan, error) {
+	sel, err := mckp.SolvePaper(prob.Classes, deadlineSec)
+	if err != nil {
+		return nil, err
+	}
+	return planFromSelection(prob, sel), nil
+}
+
+// OptimizeGreedy runs the heuristic baseline (ablation).
+func (prob *DeploymentProblem) OptimizeGreedy(deadlineSec int) (*Plan, error) {
+	sel, err := mckp.SolveGreedy(prob.Classes, deadlineSec)
+	if err != nil {
+		return nil, err
+	}
+	return planFromSelection(prob, sel), nil
+}
+
+// OverProvision runs every stage at the largest configuration (the
+// paper's Fig. 6 "over-provision" bar: all stages on 8 vCPUs).
+func (prob *DeploymentProblem) OverProvision() *Plan {
+	sel, _ := mckp.FixedProvision(prob.Classes, func(cl mckp.Class) int { return len(cl.Items) - 1 })
+	return planFromSelection(prob, sel)
+}
+
+// UnderProvision runs every stage at the smallest configuration (the
+// Fig. 6 "under-provision" bar: all stages on 1 vCPU).
+func (prob *DeploymentProblem) UnderProvision() *Plan {
+	sel, _ := mckp.FixedProvision(prob.Classes, func(mckp.Class) int { return 0 })
+	return planFromSelection(prob, sel)
+}
+
+// MinTime returns the fastest achievable total runtime (feasibility
+// limit).
+func (prob *DeploymentProblem) MinTime() int { return mckp.MinTotalTime(prob.Classes) }
+
+// TableIRow is one deadline row of the paper's Table I.
+type TableIRow struct {
+	DeadlineSec int
+	Plan        *Plan
+}
+
+// TableI evaluates the optimizer at the given deadlines.
+func (prob *DeploymentProblem) TableI(deadlines []int) ([]TableIRow, error) {
+	var rows []TableIRow
+	for _, d := range deadlines {
+		plan, err := prob.Optimize(d)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, TableIRow{DeadlineSec: d, Plan: plan})
+	}
+	return rows, nil
+}
+
+// ProvisioningComparison is one group of the paper's Fig. 6.
+type ProvisioningComparison struct {
+	Design            string
+	Over, Under, Opt  *Plan
+	SavingVsOverPct   float64 // cost saved by the optimizer vs over-provisioning
+	OverheadVsBestPct float64 // runtime overhead vs the fastest (over-provisioned) schedule
+}
+
+// CompareProvisioning reproduces one Fig. 6 group: the optimizer is
+// given slackFactor x the over-provisioned (fastest) runtime as its
+// deadline — "minimal overhead to the best runtime" in the paper —
+// and its cost is compared against both fixed policies.
+func CompareProvisioning(prob *DeploymentProblem, slackFactor float64) (*ProvisioningComparison, error) {
+	if slackFactor < 1 {
+		return nil, fmt.Errorf("core: slack factor %g below 1 makes every plan infeasible", slackFactor)
+	}
+	over := prob.OverProvision()
+	under := prob.UnderProvision()
+	deadline := int(float64(over.TotalTime) * slackFactor)
+	opt, err := prob.Optimize(deadline)
+	if err != nil {
+		return nil, err
+	}
+	cmp := &ProvisioningComparison{Design: prob.Design, Over: over, Under: under, Opt: opt}
+	if opt.Feasible && over.TotalCost > 0 {
+		cmp.SavingVsOverPct = 100 * (over.TotalCost - opt.TotalCost) / over.TotalCost
+	}
+	if opt.Feasible && over.TotalTime > 0 {
+		cmp.OverheadVsBestPct = 100 * float64(opt.TotalTime-over.TotalTime) / float64(over.TotalTime)
+	}
+	return cmp, nil
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"edacloud/internal/gcn"
+)
+
+// Predictor persistence: one container stream holding the vCPU axis
+// plus the per-application model and scaler, so a trained predictor
+// ships with the planning tool instead of retraining per run.
+
+const predictorMagic = "edacloud-predictor-v1"
+
+// Save serializes the predictor bundle.
+func (p *Predictor) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, predictorMagic)
+	vcpus := make([]string, len(p.VCPUs))
+	for i, v := range p.VCPUs {
+		vcpus[i] = strconv.Itoa(v)
+	}
+	fmt.Fprintf(bw, "vcpus %s\n", strings.Join(vcpus, " "))
+	for _, k := range JobKinds() {
+		model := p.Models[k]
+		scaler := p.Scalers[k]
+		if model == nil || scaler == nil {
+			return fmt.Errorf("core: predictor missing %v model", k)
+		}
+		fmt.Fprintf(bw, "job %s\n", k)
+		if err := model.Save(bw); err != nil {
+			return err
+		}
+		if err := scaler.Save(bw); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(bw, "end-predictor")
+	return bw.Flush()
+}
+
+// ReadPredictor parses a bundle written by Save.
+func ReadPredictor(r io.Reader) (*Predictor, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	if !sc.Scan() || sc.Text() != predictorMagic {
+		return nil, fmt.Errorf("core: not a %s stream", predictorMagic)
+	}
+	if !sc.Scan() {
+		return nil, fmt.Errorf("core: truncated predictor stream")
+	}
+	f := strings.Fields(sc.Text())
+	if len(f) < 2 || f[0] != "vcpus" {
+		return nil, fmt.Errorf("core: bad vcpus line %q", sc.Text())
+	}
+	p := &Predictor{Models: map[JobKind]*gcn.Model{}, Scalers: map[JobKind]*gcn.TargetScaler{}}
+	for _, s := range f[1:] {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, fmt.Errorf("core: bad vcpu %q", s)
+		}
+		p.VCPUs = append(p.VCPUs, v)
+	}
+	for _, k := range JobKinds() {
+		if !sc.Scan() || sc.Text() != "job "+k.String() {
+			return nil, fmt.Errorf("core: expected job %v header", k)
+		}
+		model, err := gcn.ReadModelFrom(sc)
+		if err != nil {
+			return nil, fmt.Errorf("core: %v model: %w", k, err)
+		}
+		scaler, err := gcn.ReadScalerFrom(sc)
+		if err != nil {
+			return nil, fmt.Errorf("core: %v scaler: %w", k, err)
+		}
+		p.Models[k] = model
+		p.Scalers[k] = scaler
+	}
+	if !sc.Scan() || sc.Text() != "end-predictor" {
+		return nil, fmt.Errorf("core: missing end marker")
+	}
+	return p, nil
+}

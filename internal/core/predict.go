@@ -1,0 +1,321 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"edacloud/internal/designs"
+	"edacloud/internal/gcn"
+	"edacloud/internal/netlist"
+	"edacloud/internal/perf"
+	"edacloud/internal/synth"
+	"edacloud/internal/techlib"
+)
+
+// DatasetOptions configures dataset generation for the runtime
+// predictor. The paper's dataset is 18 benchmarks x logic-optimization
+// recipes = 330 netlists with 2640 runtime labels; the same procedure
+// here is parameterized so tests and benches can use smaller slices.
+type DatasetOptions struct {
+	// Benchmarks to include; nil means all 18.
+	Benchmarks []string
+	// Recipes are the logic-optimization scripts producing structural
+	// variants; nil means synth.StandardRecipes.
+	Recipes []synth.Recipe
+	// Scale sizes the generated benchmarks; 0 means 0.08.
+	Scale float64
+	// VCPUs lists the labeled machine configurations; nil = {1,2,4,8}.
+	VCPUs []int
+}
+
+// datasetWorkScale extrapolates benchmark-scale runtimes to full-flow
+// magnitudes (see workScaleFor; benchmarks have no declared full-size
+// target, so a representative constant is used).
+const datasetWorkScale = 2e4
+
+func (o DatasetOptions) withDefaults() DatasetOptions {
+	if o.Benchmarks == nil {
+		o.Benchmarks = designs.BenchmarkNames()
+	}
+	if o.Recipes == nil {
+		o.Recipes = synth.StandardRecipes
+	}
+	if o.Scale == 0 {
+		o.Scale = 0.08
+	}
+	if o.VCPUs == nil {
+		o.VCPUs = []int{1, 2, 4, 8}
+	}
+	return o
+}
+
+// LabeledGraph is one dataset sample: a graph representation of a
+// netlist (or AIG) plus measured per-configuration runtimes.
+type LabeledGraph struct {
+	Design   string // base benchmark (unseen-design splits key on this)
+	Variant  string // recipe name
+	Graph    *gcn.Graph
+	Runtimes []float64 // seconds, aligned with Dataset.VCPUs
+}
+
+// Dataset carries per-job samples.
+type Dataset struct {
+	Jobs    map[JobKind][]LabeledGraph
+	VCPUs   []int
+	Designs []string
+}
+
+// NumNetlists returns the number of distinct netlist variants.
+func (d *Dataset) NumNetlists() int { return len(d.Jobs[JobPlacement]) }
+
+// NumLabels returns the total number of runtime labels.
+func (d *Dataset) NumLabels() int {
+	n := 0
+	for _, samples := range d.Jobs {
+		for _, s := range samples {
+			n += len(s.Runtimes)
+		}
+	}
+	return n
+}
+
+// BuildDataset synthesizes every benchmark under every recipe, runs
+// the full flow under every vCPU configuration, and collects graphs
+// plus runtime labels. Synthesis samples use the AIG graph (the paper
+// runs the synthesis predictor on the AIG); placement, routing and STA
+// samples use the mapped netlist's star graph.
+func BuildDataset(lib *techlib.Library, opts DatasetOptions) (*Dataset, error) {
+	opts = opts.withDefaults()
+	ds := &Dataset{
+		Jobs:    map[JobKind][]LabeledGraph{},
+		VCPUs:   opts.VCPUs,
+		Designs: opts.Benchmarks,
+	}
+	for _, bench := range opts.Benchmarks {
+		g, err := designs.Benchmark(bench, opts.Scale)
+		if err != nil {
+			return nil, err
+		}
+		estCells := EstimateCells(g.NumAnds())
+		// The synthesis predictor consumes the *input* AIG (the paper:
+		// RTL is elaborated to an AIG before synthesis), so its graph is
+		// fixed per benchmark; recipes only produce the netlist variants
+		// the placement/routing/STA predictors train on. One synthesis
+		// sample per (benchmark, recipe pair) would pair one graph with
+		// conflicting labels, so synthesis is sampled once per benchmark
+		// under the first recipe.
+		inputAIG := gcn.FromStarGraph(netlist.AIGGraph(g))
+		for ri, recipe := range opts.Recipes {
+			runtimes := map[JobKind][]float64{}
+			var nlGraph *gcn.Graph
+			for _, v := range opts.VCPUs {
+				flow, err := RunFlow(g, lib, FlowOptions{
+					Recipe: recipe,
+					NewProbe: func(JobKind) *perf.Probe {
+						return NewJobProbe(v, estCells)
+					},
+				})
+				if err != nil {
+					return nil, fmt.Errorf("core: dataset %s/%s: %w", bench, recipe.Name, err)
+				}
+				if nlGraph == nil {
+					nlGraph = gcn.FromStarGraph(flow.Netlist.StarGraph())
+				}
+				// Labels are extrapolated to full-flow magnitudes with a
+				// fixed factor; relative (percentage) prediction errors
+				// are invariant to it, but log-space training and the
+				// Fig. 5 histogram operate on paper-like seconds.
+				m := machineFor(v, true, 0, datasetWorkScale)
+				for _, k := range JobKinds() {
+					runtimes[k] = append(runtimes[k], m.Seconds(flow.Reports[k]))
+				}
+			}
+			for _, k := range JobKinds() {
+				if k == JobSynthesis {
+					if ri == 0 {
+						ds.Jobs[k] = append(ds.Jobs[k], LabeledGraph{
+							Design:   bench,
+							Variant:  recipe.Name,
+							Graph:    inputAIG,
+							Runtimes: runtimes[k],
+						})
+					}
+					continue
+				}
+				ds.Jobs[k] = append(ds.Jobs[k], LabeledGraph{
+					Design:   bench,
+					Variant:  recipe.Name,
+					Graph:    nlGraph,
+					Runtimes: runtimes[k],
+				})
+			}
+		}
+	}
+	return ds, nil
+}
+
+// SplitByDesign partitions sample indices so that test samples come
+// from designs never seen in training (the paper's split discipline).
+func (d *Dataset) SplitByDesign(k JobKind, testFrac float64, seed int64) (train, test []LabeledGraph) {
+	names := append([]string(nil), d.Designs...)
+	sort.Strings(names)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(names), func(i, j int) { names[i], names[j] = names[j], names[i] })
+	nTest := int(float64(len(names)) * testFrac)
+	if nTest < 1 && len(names) > 1 {
+		nTest = 1
+	}
+	testSet := map[string]bool{}
+	for _, n := range names[:nTest] {
+		testSet[n] = true
+	}
+	for _, s := range d.Jobs[k] {
+		if testSet[s.Design] {
+			test = append(test, s)
+		} else {
+			train = append(train, s)
+		}
+	}
+	return train, test
+}
+
+// Predictor bundles one trained GCN per application, as the paper
+// trains each application's model separately.
+type Predictor struct {
+	Models  map[JobKind]*gcn.Model
+	Scalers map[JobKind]*gcn.TargetScaler
+	VCPUs   []int
+}
+
+// ErrRecord is one test-set prediction outcome.
+type ErrRecord struct {
+	Design, Variant string
+	Pred, Actual    []float64 // seconds
+}
+
+// JobEval aggregates test error for one application.
+type JobEval struct {
+	Records []ErrRecord
+	// AvgAbsPctErr is mean |pred-actual|/actual over all records and
+	// configurations — the paper's headline accuracy metric.
+	AvgAbsPctErr float64
+}
+
+// ErrorsSeconds flattens signed errors (pred - actual, seconds), the
+// quantity the paper histograms in Fig. 5.
+func (e *JobEval) ErrorsSeconds() []float64 {
+	var out []float64
+	for _, r := range e.Records {
+		for j := range r.Pred {
+			out = append(out, r.Pred[j]-r.Actual[j])
+		}
+	}
+	return out
+}
+
+// Histogram buckets the signed errors into n bins over [min, max].
+func (e *JobEval) Histogram(bins int) (edges []float64, counts []int) {
+	errs := e.ErrorsSeconds()
+	if len(errs) == 0 || bins < 1 {
+		return nil, nil
+	}
+	lo, hi := errs[0], errs[0]
+	for _, v := range errs {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	edges = make([]float64, bins+1)
+	for i := range edges {
+		edges[i] = lo + (hi-lo)*float64(i)/float64(bins)
+	}
+	counts = make([]int, bins)
+	for _, v := range errs {
+		b := int((v - lo) / (hi - lo) * float64(bins))
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	return edges, counts
+}
+
+// PredictionEval is the Fig. 5 result set.
+type PredictionEval struct {
+	PerJob map[JobKind]*JobEval
+}
+
+// TrainPredictor trains per-application models on a design-disjoint
+// split and evaluates them on the held-out designs.
+func TrainPredictor(ds *Dataset, cfg gcn.Config, testFrac float64, seed int64) (*Predictor, *PredictionEval, error) {
+	pred := &Predictor{
+		Models:  map[JobKind]*gcn.Model{},
+		Scalers: map[JobKind]*gcn.TargetScaler{},
+		VCPUs:   ds.VCPUs,
+	}
+	eval := &PredictionEval{PerJob: map[JobKind]*JobEval{}}
+	for _, k := range JobKinds() {
+		train, test := ds.SplitByDesign(k, testFrac, seed)
+		if len(train) == 0 {
+			return nil, nil, fmt.Errorf("core: no training samples for %v", k)
+		}
+		var targets [][]float64
+		for _, s := range train {
+			targets = append(targets, s.Runtimes)
+		}
+		scaler := gcn.FitScaler(targets)
+		samples := make([]gcn.Sample, len(train))
+		for i, s := range train {
+			samples[i] = gcn.Sample{
+				Name:    s.Design + "/" + s.Variant,
+				G:       s.Graph,
+				Targets: scaler.Transform(s.Runtimes),
+			}
+		}
+		jobCfg := cfg
+		jobCfg.Outputs = len(ds.VCPUs)
+		jobCfg.Seed = seed + int64(k)
+		model := gcn.NewModel(jobCfg, netlist.FeatureDim)
+		if _, err := model.Train(samples); err != nil {
+			return nil, nil, err
+		}
+		pred.Models[k] = model
+		pred.Scalers[k] = scaler
+
+		je := &JobEval{}
+		var pctSum float64
+		var pctN int
+		for _, s := range test {
+			p := scaler.Invert(model.Predict(s.Graph))
+			je.Records = append(je.Records, ErrRecord{
+				Design: s.Design, Variant: s.Variant,
+				Pred: p, Actual: s.Runtimes,
+			})
+			for j := range p {
+				if s.Runtimes[j] > 0 {
+					pctSum += math.Abs(p[j]-s.Runtimes[j]) / s.Runtimes[j]
+					pctN++
+				}
+			}
+		}
+		if pctN > 0 {
+			je.AvgAbsPctErr = 100 * pctSum / float64(pctN)
+		}
+		eval.PerJob[k] = je
+	}
+	return pred, eval, nil
+}
+
+// PredictRuntimes returns predicted per-configuration runtimes in
+// seconds for a graph under the given application's model.
+func (p *Predictor) PredictRuntimes(k JobKind, g *gcn.Graph) ([]float64, error) {
+	model := p.Models[k]
+	if model == nil {
+		return nil, fmt.Errorf("core: no model for %v", k)
+	}
+	return p.Scalers[k].Invert(model.Predict(g)), nil
+}

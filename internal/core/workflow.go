@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"edacloud/internal/aig"
+	"edacloud/internal/cloud"
+	"edacloud/internal/gcn"
+	"edacloud/internal/mckp"
+	"edacloud/internal/netlist"
+	"edacloud/internal/synth"
+	"edacloud/internal/techlib"
+)
+
+// This file closes the loop of the paper's Fig. 1: the GCN predictions
+// (Sec. III.B) feed the deployment optimizer (Sec. III.C) directly, so
+// a new design can be planned without profiling it first — the entire
+// point of training the predictor.
+
+// DesignGraphs carries the two model inputs for one design: the AIG
+// for the synthesis model and the mapped netlist's star graph for the
+// physical-design models.
+type DesignGraphs struct {
+	Name    string
+	AIG     *gcn.Graph
+	Netlist *gcn.Graph
+}
+
+// GraphsForDesign prepares predictor inputs for a raw design: it maps
+// the AIG once (uninstrumented) to obtain the netlist graph.
+func GraphsForDesign(g *aig.Graph, lib *techlib.Library) (*DesignGraphs, error) {
+	res, err := synth.Synthesize(g, lib, synth.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &DesignGraphs{
+		Name:    g.Name,
+		AIG:     gcn.FromStarGraph(netlist.AIGGraph(g)),
+		Netlist: gcn.FromStarGraph(res.Netlist.StarGraph()),
+	}, nil
+}
+
+// PredictFlowRuntimes returns the predicted per-vCPU runtimes of all
+// four jobs for a design, in seconds.
+func (p *Predictor) PredictFlowRuntimes(dg *DesignGraphs) (map[JobKind][]float64, error) {
+	out := map[JobKind][]float64{}
+	for _, k := range JobKinds() {
+		g := dg.Netlist
+		if k == JobSynthesis {
+			g = dg.AIG
+		}
+		if g == nil {
+			return nil, fmt.Errorf("core: design %s lacks a graph for %v", dg.Name, k)
+		}
+		rt, err := p.PredictRuntimes(k, g)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = rt
+	}
+	return out, nil
+}
+
+// BuildPredictedDeploymentProblem assembles the MCKP instance from
+// predicted runtimes instead of measured profiles — the paper's
+// production path (Fig. 1: prediction -> $ cost calculator ->
+// optimization). Predictions already carry full-flow magnitudes; each
+// stage prices its recommended family's instances with per-second
+// billing.
+func BuildPredictedDeploymentProblem(pred *Predictor, dg *DesignGraphs, catalog *cloud.Catalog) (*DeploymentProblem, error) {
+	runtimes, err := pred.PredictFlowRuntimes(dg)
+	if err != nil {
+		return nil, err
+	}
+	prob := &DeploymentProblem{Design: dg.Name}
+	for _, k := range JobKinds() {
+		fam := RecommendedFamily(k)
+		rts := runtimes[k]
+		if len(rts) != len(pred.VCPUs) {
+			return nil, fmt.Errorf("core: %v prediction width %d, want %d", k, len(rts), len(pred.VCPUs))
+		}
+		var choices []StageChoice
+		cl := mckp.Class{Name: k.String()}
+		for vi, v := range pred.VCPUs {
+			it, err := catalog.Size(fam, v)
+			if err != nil {
+				return nil, err
+			}
+			secs := rts[vi]
+			if secs < 1 {
+				secs = 1 // per-second billing floor
+			}
+			cost := it.Cost(secs)
+			choices = append(choices, StageChoice{Job: k, Instance: it, Seconds: secs, Cost: cost})
+			cl.Items = append(cl.Items, mckp.Item{
+				Label:   it.Name,
+				TimeSec: int(math.Ceil(secs)),
+				Cost:    cost,
+			})
+		}
+		prob.Stages = append(prob.Stages, choices)
+		prob.Classes = append(prob.Classes, cl)
+	}
+	return prob, nil
+}

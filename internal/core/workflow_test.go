@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"edacloud/internal/cloud"
+	"edacloud/internal/designs"
+	"edacloud/internal/gcn"
+	"edacloud/internal/synth"
+)
+
+// TestEndToEndWorkflow exercises the paper's entire Fig. 1 pipeline:
+// build a dataset, train the predictor, predict runtimes for a design
+// outside the training set, and optimize its cloud deployment from the
+// predictions alone.
+func TestEndToEndWorkflow(t *testing.T) {
+	ds, err := BuildDataset(lib, DatasetOptions{
+		Benchmarks: []string{"adder", "dec", "cavlc", "int2float", "priority", "bar"},
+		Recipes:    synth.StandardRecipes[:2],
+		Scale:      0.06,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := gcn.Config{Hidden1: 24, Hidden2: 12, FCHidden: 12, LR: 3e-3, Epochs: 60}
+	pred, _, err := TrainPredictor(ds, cfg, 0.2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A design the predictor has never seen in any form.
+	g := designs.MustBenchmark("i2c", 0.06)
+	dg, err := GraphsForDesign(g, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtimes, err := pred.PredictFlowRuntimes(dg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range JobKinds() {
+		if len(runtimes[k]) != 4 {
+			t.Fatalf("%v: %d predictions", k, len(runtimes[k]))
+		}
+		for _, v := range runtimes[k] {
+			if v < 0 {
+				t.Fatalf("%v: negative predicted runtime %g", k, v)
+			}
+		}
+	}
+
+	prob, err := BuildPredictedDeploymentProblem(pred, dg, cloud.DefaultCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prob.Classes) != 4 {
+		t.Fatalf("classes = %d", len(prob.Classes))
+	}
+	// The instance families must still follow the characterization
+	// recommendations.
+	if prob.Stages[int(JobSynthesis)][0].Instance.Family != cloud.GeneralPurpose ||
+		prob.Stages[int(JobPlacement)][0].Instance.Family != cloud.MemoryOptimized {
+		t.Fatal("family recommendations lost in prediction path")
+	}
+
+	minTime := prob.MinTime()
+	plan, err := prob.Optimize(2 * minTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Feasible {
+		t.Fatal("relaxed deadline infeasible")
+	}
+	if plan.TotalTime > 2*minTime {
+		t.Fatalf("plan %ds exceeds deadline %ds", plan.TotalTime, 2*minTime)
+	}
+	na, err := prob.Optimize(minTime / 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = na // may or may not be feasible depending on per-second floors
+	over := prob.OverProvision()
+	under := prob.UnderProvision()
+	if !over.Feasible || !under.Feasible {
+		t.Fatal("fixed policies infeasible on predicted problem")
+	}
+}
+
+func TestGraphsForDesignShape(t *testing.T) {
+	g := designs.MustBenchmark("dec", 0.3)
+	dg, err := GraphsForDesign(g, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dg.AIG == nil || dg.Netlist == nil || dg.Name != "dec" {
+		t.Fatalf("graphs incomplete: %+v", dg)
+	}
+	if dg.AIG.X.Rows == 0 || dg.Netlist.X.Rows == 0 {
+		t.Fatal("empty graphs")
+	}
+	// The netlist graph includes cells plus I/O pseudo-nodes; the AIG
+	// graph includes AND nodes plus outputs. Both should be larger than
+	// the raw I/O count.
+	if dg.Netlist.X.Rows < g.NumInputs()+g.NumOutputs() {
+		t.Fatal("netlist graph suspiciously small")
+	}
+}
+
+func TestPredictedProblemRejectsBadInputs(t *testing.T) {
+	pred := &Predictor{VCPUs: []int{1, 2, 4, 8}}
+	dg := &DesignGraphs{Name: "x"}
+	if _, err := pred.PredictFlowRuntimes(dg); err == nil {
+		t.Fatal("missing graphs accepted")
+	}
+	if _, err := BuildPredictedDeploymentProblem(pred, dg, cloud.DefaultCatalog()); err == nil {
+		t.Fatal("missing models accepted")
+	}
+}

@@ -1,0 +1,219 @@
+package designs
+
+import "edacloud/internal/aig"
+
+// The ten arithmetic benchmarks. Base widths are chosen so that the
+// scale=1 gate counts land in the EPFL suite's range; generators clamp
+// widths to small but functional minima so reduced-scale dataset
+// generation stays meaningful.
+
+func scaledWidth(base int, scale float64, min int) int {
+	w := int(float64(base) * scale)
+	if w < min {
+		w = min
+	}
+	return w
+}
+
+// genAdder builds a width-bit ripple-carry adder (EPFL "adder").
+func genAdder(scale float64) *aig.Graph {
+	w := scaledWidth(128, scale, 4)
+	g := aig.New("adder")
+	a := inputWord(g, "a", w)
+	b := inputWord(g, "b", w)
+	sum, cout := rippleAdd(g, a, b, aig.False)
+	outputWord(g, "s", sum)
+	g.AddOutput(cout, "cout")
+	return g
+}
+
+// genBar builds a logarithmic barrel shifter (EPFL "bar").
+func genBar(scale float64) *aig.Graph {
+	w := scaledWidth(128, scale, 8)
+	shBits := 1
+	for 1<<uint(shBits) < w {
+		shBits++
+	}
+	g := aig.New("bar")
+	data := inputWord(g, "d", w)
+	sh := inputWord(g, "sh", shBits)
+	dir := g.AddInput("left")
+	l := barrelShift(g, data, sh, true)
+	r := barrelShift(g, data, sh, false)
+	outputWord(g, "q", muxWord(g, dir, l, r))
+	return g
+}
+
+// genDiv builds a restoring array divider (EPFL "div"): quotient and
+// remainder of a 2w-bit dividend by a w-bit divisor.
+func genDiv(scale float64) *aig.Graph {
+	w := scaledWidth(32, scale, 4)
+	g := aig.New("div")
+	dividend := inputWord(g, "n", 2*w)
+	divisor := inputWord(g, "d", w)
+
+	// Non-performing restoring division: shift the remainder left one
+	// bit at a time, trial-subtract the divisor, keep on success.
+	rem := constWord(g, 0, w+1)
+	div := append(append(word{}, divisor...), aig.False)
+	quot := make(word, 2*w)
+	for i := 2*w - 1; i >= 0; i-- {
+		// rem = rem<<1 | dividend[i]
+		shifted := shiftLeftConst(rem, 1)
+		shifted[0] = dividend[i]
+		diff, ok := rippleSub(g, shifted, div)
+		quot[i] = ok
+		rem = muxWord(g, ok, diff, shifted)
+	}
+	outputWord(g, "q", quot)
+	outputWord(g, "r", rem[:w])
+	return g
+}
+
+// genHyp builds sqrt(a^2+b^2) (EPFL "hyp"), the largest arithmetic
+// benchmark: two squarers, an adder and a root extractor.
+func genHyp(scale float64) *aig.Graph {
+	w := scaledWidth(32, scale, 4)
+	g := aig.New("hyp")
+	a := inputWord(g, "a", w)
+	b := inputWord(g, "b", w)
+	a2 := mulArray(g, a, a)
+	b2 := mulArray(g, b, b)
+	sum, cout := rippleAdd(g, a2, b2, aig.False)
+	sum = append(sum, cout)
+	outputWord(g, "h", isqrtArray(g, sum))
+	return g
+}
+
+// genLog2 builds an integer log2 with fractional refinement (EPFL
+// "log2"): a leading-one detector, a normalizing barrel shift and a
+// small polynomial on the fraction.
+func genLog2(scale float64) *aig.Graph {
+	w := scaledWidth(32, scale, 8)
+	g := aig.New("log2")
+	x := inputWord(g, "x", w)
+	pos, valid := leadingOnePos(g, x)
+	norm := barrelShift(g, x, pos, false) // fraction bits below the leading one
+	fracW := w / 2
+	frac := norm[:fracW]
+	// One Newton-ish refinement term: frac - frac^2/2 approximates
+	// ln(1+f)/ln2 to first order; build frac^2 with the array multiplier.
+	sq := mulArray(g, frac, frac)
+	half := shiftRightConst(sq[:fracW], 1)
+	corr, _ := rippleSub(g, frac, half)
+	outputWord(g, "ipart", andWord(g, pos, valid))
+	outputWord(g, "fpart", corr)
+	return g
+}
+
+// genMax builds a k-way tournament maximum of unsigned words (EPFL
+// "max").
+func genMax(scale float64) *aig.Graph {
+	w := scaledWidth(128, scale, 8)
+	const k = 4
+	g := aig.New("max")
+	words := make([]word, k)
+	for i := range words {
+		words[i] = inputWord(g, "x"+itoa(i), w)
+	}
+	for len(words) > 1 {
+		var next []word
+		for i := 0; i+1 < len(words); i += 2 {
+			a, b := words[i], words[i+1]
+			next = append(next, muxWord(g, geU(g, a, b), a, b))
+		}
+		if len(words)%2 == 1 {
+			next = append(next, words[len(words)-1])
+		}
+		words = next
+	}
+	outputWord(g, "max", words[0])
+	return g
+}
+
+// genMultiplier builds a w x w array multiplier (EPFL "multiplier").
+func genMultiplier(scale float64) *aig.Graph {
+	w := scaledWidth(64, scale, 4)
+	g := aig.New("multiplier")
+	a := inputWord(g, "a", w)
+	b := inputWord(g, "b", w)
+	outputWord(g, "p", mulArray(g, a, b))
+	return g
+}
+
+// genSin builds a fixed-point sine approximation (EPFL "sin") as a
+// degree-5 odd polynomial evaluated with Horner's scheme:
+// sin(x) ~ x*(c1 + x2*(c3 + x2*c5)).
+func genSin(scale float64) *aig.Graph {
+	w := scaledWidth(24, scale, 6)
+	g := aig.New("sin")
+	x := inputWord(g, "x", w)
+	x2full := mulArray(g, x, x)
+	x2 := x2full[w:] // keep the top w bits as the fixed-point square
+
+	c1 := constWord(g, 0xFFFFFF>>(24-min(w, 24)), w)
+	c3 := constWord(g, 0x2AAAAA>>(24-min(w, 24)), w)
+	c5 := constWord(g, 0x022222>>(24-min(w, 24)), w)
+
+	t := mulArray(g, x2, c5)[w:]
+	t, _ = rippleAdd(g, t, c3, aig.False)
+	t = mulArray(g, x2, t)[w:]
+	t, _ = rippleSub(g, c1, t)
+	outputWord(g, "sin", mulArray(g, x, t)[w:])
+	return g
+}
+
+// genSqrt builds a restoring square root array (EPFL "sqrt").
+func genSqrt(scale float64) *aig.Graph {
+	w := scaledWidth(64, scale, 6)
+	g := aig.New("sqrt")
+	x := inputWord(g, "x", w)
+	outputWord(g, "r", isqrtArray(g, x))
+	return g
+}
+
+// genSquare builds x*x (EPFL "square").
+func genSquare(scale float64) *aig.Graph {
+	w := scaledWidth(64, scale, 4)
+	g := aig.New("square")
+	x := inputWord(g, "x", w)
+	outputWord(g, "p", mulArray(g, x, x))
+	return g
+}
+
+// isqrtArray builds a bit-serial restoring integer square root: for an
+// n-bit radicand it produces ceil(n/2) result bits, developing the
+// classical digit recurrence with a trial subtraction per bit.
+func isqrtArray(g *aig.Graph, x word) word {
+	n := len(x)
+	if n%2 == 1 {
+		x = append(append(word{}, x...), aig.False)
+		n++
+	}
+	resBits := n / 2
+	// Remainder register: the restoring recurrence holds rem <= 2*root,
+	// so rem*4 + 3 needs at most resBits+3 bits before the subtraction.
+	rem := constWord(g, 0, resBits+3)
+	root := constWord(g, 0, resBits)
+	for i := resBits - 1; i >= 0; i-- {
+		// Bring down the next two radicand bits.
+		rem = shiftLeftConst(rem, 2)
+		rem[0] = x[2*i]
+		rem[1] = x[2*i+1]
+		// Trial value: (root << 2) | 1 at the right alignment =
+		// 4*root + 1, which must fit resBits+2 bits.
+		trial := make(word, len(rem))
+		for j := range trial {
+			trial[j] = aig.False
+		}
+		trial[0] = aig.True
+		for j := 0; j < resBits && j+2 < len(trial); j++ {
+			trial[j+2] = root[j]
+		}
+		diff, ok := rippleSub(g, rem, trial)
+		rem = muxWord(g, ok, diff, rem)
+		root = shiftLeftConst(root, 1)
+		root[0] = ok
+	}
+	return root
+}

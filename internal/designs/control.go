@@ -1,0 +1,255 @@
+package designs
+
+import (
+	"math/rand"
+
+	"edacloud/internal/aig"
+)
+
+// The eight control benchmarks. Arbiters, decoders and priority logic
+// are built exactly; the irregular coding/FSM blocks (cavlc, i2c,
+// mem_ctrl's glue) use seeded layered random logic, which reproduces
+// the shallow, branchy, reconvergent shape of real control netlists
+// while staying deterministic.
+
+// genArbiter builds a rotating-priority (round-robin) arbiter (EPFL
+// "arbiter"): n request lines plus a log2(n)-bit pointer select one
+// grant using the classical double-priority-encoder scheme.
+func genArbiter(scale float64) *aig.Graph {
+	n := scaledWidth(256, scale, 8)
+	ptrBits := 1
+	for 1<<uint(ptrBits) < n {
+		ptrBits++
+	}
+	g := aig.New("arbiter")
+	req := inputWord(g, "req", n)
+	ptr := inputWord(g, "ptr", ptrBits)
+
+	// thermo[i] = (i >= ptr): a thermometer mask from the pointer.
+	thermo := make(word, n)
+	for i := 0; i < n; i++ {
+		iw := constWord(g, uint64(i), ptrBits)
+		thermo[i] = geU(g, iw, ptr)
+	}
+	masked := make(word, n)
+	for i := range req {
+		masked[i] = g.And(req[i], thermo[i])
+	}
+	grantHi, noneHi := priorityEncode(g, masked)
+	grantLo, _ := priorityEncode(g, req)
+	grant := make(word, n)
+	for i := range grant {
+		grant[i] = g.Or(grantHi[i], g.And(noneHi, grantLo[i]))
+	}
+	outputWord(g, "grant", grant)
+	g.AddOutput(noneHi.Not(), "any_hi")
+	return g
+}
+
+// genDec builds an n-to-2^n decoder with enable (EPFL "dec").
+func genDec(scale float64) *aig.Graph {
+	bits := scaledWidth(8, scale, 3)
+	if bits > 10 {
+		bits = 10 // 2^10 outputs is plenty; beyond that the AIG explodes
+	}
+	g := aig.New("dec")
+	sel := inputWord(g, "a", bits)
+	en := g.AddInput("en")
+	outs := make(word, 1<<uint(bits))
+	for v := range outs {
+		terms := make([]aig.Lit, bits+1)
+		for b := 0; b < bits; b++ {
+			if v>>uint(b)&1 == 1 {
+				terms[b] = sel[b]
+			} else {
+				terms[b] = sel[b].Not()
+			}
+		}
+		terms[bits] = en
+		outs[v] = g.AndN(terms)
+	}
+	outputWord(g, "y", outs)
+	return g
+}
+
+// genPriority builds a priority encoder with valid flag (EPFL
+// "priority").
+func genPriority(scale float64) *aig.Graph {
+	n := scaledWidth(128, scale, 8)
+	g := aig.New("priority")
+	req := inputWord(g, "req", n)
+	grant, none := priorityEncode(g, req)
+	outputWord(g, "grant", grant)
+	// Also produce the encoded index, the expensive part of the EPFL
+	// version.
+	bits := 1
+	for 1<<uint(bits) < n {
+		bits++
+	}
+	idx := constWord(g, 0, bits)
+	for i, gr := range grant {
+		iw := constWord(g, uint64(i), bits)
+		idx = muxWord(g, gr, iw, idx)
+	}
+	outputWord(g, "idx", idx)
+	g.AddOutput(none.Not(), "valid")
+	return g
+}
+
+// genVoter builds an n-input majority voter (EPFL "voter"): a popcount
+// adder tree compared against n/2.
+func genVoter(scale float64) *aig.Graph {
+	n := scaledWidth(1001, scale, 9)
+	if n%2 == 0 {
+		n++ // odd input count gives a strict majority
+	}
+	g := aig.New("voter")
+	in := inputWord(g, "v", n)
+	count := popcount(g, in)
+	threshold := constWord(g, uint64(n/2+1), len(count))
+	g.AddOutput(geU(g, count, threshold), "maj")
+	return g
+}
+
+// genInt2Float builds an integer-to-floating-point converter (EPFL
+// "int2float"): leading-one detection, normalization shift, exponent
+// arithmetic and truncation rounding.
+func genInt2Float(scale float64) *aig.Graph {
+	w := scaledWidth(32, scale, 8)
+	manW := w / 2
+	g := aig.New("int2float")
+	x := inputWord(g, "x", w)
+	pos, valid := leadingOnePos(g, x)
+	// Normalize: shift left so the leading one reaches the top bit.
+	maxSh := constWord(g, uint64(len(x)-1), len(pos))
+	shAmt, _ := rippleSub(g, maxSh, pos)
+	norm := barrelShift(g, x, shAmt, true)
+	mant := norm[len(norm)-manW:]
+	// Exponent = pos + bias.
+	bias := constWord(g, uint64(1<<(len(pos)-1)-1), len(pos)+1)
+	posExt := append(append(word{}, pos...), aig.False)
+	exp, _ := rippleAdd(g, posExt, bias, aig.False)
+	outputWord(g, "mant", andWord(g, mant, valid))
+	outputWord(g, "exp", andWord(g, exp, valid))
+	g.AddOutput(valid.Not(), "zero")
+	return g
+}
+
+// randomLogic builds layered pseudo-random control logic: `layers`
+// ranks of two-input gates drawing operands from the previous ranks
+// with a locality bias, mimicking the reconvergent shallow structure
+// of synthesized FSM next-state functions. Deterministic in seed.
+func randomLogic(g *aig.Graph, rng *rand.Rand, inputs []aig.Lit, gates, layers int, outs int) word {
+	if layers < 1 {
+		layers = 1
+	}
+	pool := append([]aig.Lit(nil), inputs...)
+	perLayer := gates / layers
+	if perLayer < 1 {
+		perLayer = 1
+	}
+	layerStart := 0
+	for l := 0; l < layers; l++ {
+		layerEnd := len(pool)
+		for k := 0; k < perLayer; k++ {
+			// Bias operand choice toward the most recent layer to
+			// control depth growth.
+			pick := func() aig.Lit {
+				var idx int
+				if rng.Intn(100) < 70 && layerEnd > layerStart {
+					idx = layerStart + rng.Intn(layerEnd-layerStart)
+				} else {
+					idx = rng.Intn(layerEnd)
+				}
+				lit := pool[idx]
+				if rng.Intn(2) == 0 {
+					lit = lit.Not()
+				}
+				return lit
+			}
+			a, b := pick(), pick()
+			var v aig.Lit
+			switch rng.Intn(4) {
+			case 0:
+				v = g.And(a, b)
+			case 1:
+				v = g.Or(a, b)
+			case 2:
+				v = g.Xor(a, b)
+			default:
+				v = g.Mux(pick(), a, b)
+			}
+			pool = append(pool, v)
+		}
+		layerStart = layerEnd
+	}
+	// Outputs come from the last layers.
+	res := make(word, outs)
+	lo := len(pool) - perLayer*2
+	if lo < 0 {
+		lo = 0
+	}
+	for i := range res {
+		res[i] = pool[lo+rng.Intn(len(pool)-lo)]
+	}
+	return res
+}
+
+// genCavlc builds CAVLC-style coding-table logic (EPFL "cavlc"):
+// shallow layered random logic over a small input set.
+func genCavlc(scale float64) *aig.Graph {
+	g := aig.New("cavlc")
+	rng := rand.New(rand.NewSource(0xCA71C))
+	in := inputWord(g, "i", scaledWidth(38, scale, 10))
+	outs := randomLogic(g, rng, in, scaledWidth(700, scale, 60), 6, 11)
+	outputWord(g, "o", outs)
+	return g
+}
+
+// genI2C builds I2C-controller next-state logic (EPFL "i2c").
+func genI2C(scale float64) *aig.Graph {
+	g := aig.New("i2c")
+	rng := rand.New(rand.NewSource(0x12C))
+	in := inputWord(g, "i", scaledWidth(147, scale, 16))
+	outs := randomLogic(g, rng, in, scaledWidth(1300, scale, 100), 5, 16)
+	outputWord(g, "o", outs)
+	return g
+}
+
+// genMemCtrl builds a memory-controller block (EPFL "mem_ctrl"), the
+// largest control benchmark: bank decoders, a request arbiter and a
+// body of FSM glue logic.
+func genMemCtrl(scale float64) *aig.Graph {
+	g := aig.New("mem_ctrl")
+	rng := rand.New(rand.NewSource(0x3E3C))
+
+	addr := inputWord(g, "addr", scaledWidth(16, scale, 6))
+	req := inputWord(g, "req", scaledWidth(16, scale, 4))
+	ctl := inputWord(g, "ctl", scaledWidth(64, scale, 12))
+
+	// Bank decoder over the low address bits.
+	bankBits := 4
+	if bankBits > len(addr) {
+		bankBits = len(addr)
+	}
+	banks := make(word, 1<<uint(bankBits))
+	for v := range banks {
+		terms := make([]aig.Lit, bankBits)
+		for b := 0; b < bankBits; b++ {
+			if v>>uint(b)&1 == 1 {
+				terms[b] = addr[b]
+			} else {
+				terms[b] = addr[b].Not()
+			}
+		}
+		banks[v] = g.AndN(terms)
+	}
+	grant, _ := priorityEncode(g, req)
+	// FSM glue over everything.
+	all := append(append(append(word{}, banks...), grant...), ctl...)
+	outs := randomLogic(g, rng, all, scaledWidth(9000, scale, 400), 8, scaledWidth(120, scale, 20))
+	outputWord(g, "o", outs)
+	outputWord(g, "bank", banks[:min(8, len(banks))])
+	outputWord(g, "gnt", grant)
+	return g
+}

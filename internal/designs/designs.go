@@ -1,0 +1,75 @@
+package designs
+
+import (
+	"fmt"
+	"sort"
+
+	"edacloud/internal/aig"
+)
+
+// generator builds one benchmark at the given scale.
+type generator func(scale float64) *aig.Graph
+
+var benchmarks = map[string]generator{
+	// Arithmetic (EPFL arithmetic suite).
+	"adder":      genAdder,
+	"bar":        genBar,
+	"div":        genDiv,
+	"hyp":        genHyp,
+	"log2":       genLog2,
+	"max":        genMax,
+	"multiplier": genMultiplier,
+	"sin":        genSin,
+	"sqrt":       genSqrt,
+	"square":     genSquare,
+	// Control (EPFL random/control suite + OpenCores-style blocks).
+	"arbiter":   genArbiter,
+	"cavlc":     genCavlc,
+	"dec":       genDec,
+	"i2c":       genI2C,
+	"int2float": genInt2Float,
+	"mem_ctrl":  genMemCtrl,
+	"priority":  genPriority,
+	"voter":     genVoter,
+}
+
+// BenchmarkNames returns the 18 benchmark names in sorted order.
+func BenchmarkNames() []string {
+	names := make([]string, 0, len(benchmarks))
+	for n := range benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ArithmeticNames returns the arithmetic benchmark subset.
+func ArithmeticNames() []string {
+	return []string{"adder", "bar", "div", "hyp", "log2", "max", "multiplier", "sin", "sqrt", "square"}
+}
+
+// Benchmark generates the named benchmark at the given scale (1 =
+// EPFL-suite-like size). The graph is swept of dead logic before
+// return, so its size statistics are meaningful.
+func Benchmark(name string, scale float64) (*aig.Graph, error) {
+	gen, ok := benchmarks[name]
+	if !ok {
+		return nil, fmt.Errorf("designs: unknown benchmark %q", name)
+	}
+	if scale <= 0 {
+		return nil, fmt.Errorf("designs: non-positive scale %g", scale)
+	}
+	g := gen(scale)
+	swept, _ := g.Sweep()
+	swept.Name = name
+	return swept, nil
+}
+
+// MustBenchmark is Benchmark that panics on error.
+func MustBenchmark(name string, scale float64) *aig.Graph {
+	g, err := Benchmark(name, scale)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,488 @@
+// Package gcn implements the paper's runtime prediction model (its
+// Fig. 4): a Graph Convolutional Network over the star-model graph of
+// a netlist (or the DAG of an AIG) that outputs the predicted runtime
+// of an EDA job under 1, 2, 4 and 8 vCPUs.
+//
+// The architecture follows the paper exactly: K graph-convolution
+// layers computing
+//
+//	h_v^k = ReLU( W_k * mean_{u in N(v)} h_u^{k-1} + B_k * h_v^{k-1} )
+//
+// (two layers, 256 and 128 hidden units by default), sum-pooling into
+// a graph embedding, one fully-connected hidden layer (128 units) and
+// a 4-wide linear output. Training minimizes MSE with Adam (lr=1e-4),
+// 200 epochs. All of it — forward, backprop, Adam — is implemented
+// here on the dense kernels of internal/mat.
+package gcn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"edacloud/internal/mat"
+	"edacloud/internal/netlist"
+)
+
+// Config holds model hyperparameters. Zero values take the paper's
+// settings.
+type Config struct {
+	Hidden1  int     // first graph-conv width; 0 = 256
+	Hidden2  int     // second graph-conv width; 0 = 128
+	FCHidden int     // fully-connected width; 0 = 128
+	Outputs  int     // prediction width; 0 = 4 (one per vCPU config)
+	LR       float64 // Adam learning rate; 0 = 1e-4
+	Epochs   int     // training epochs; 0 = 200
+	Seed     int64   // weight-init and shuffle seed
+}
+
+func (c Config) withDefaults() Config {
+	if c.Hidden1 == 0 {
+		c.Hidden1 = 256
+	}
+	if c.Hidden2 == 0 {
+		c.Hidden2 = 128
+	}
+	if c.FCHidden == 0 {
+		c.FCHidden = 128
+	}
+	if c.Outputs == 0 {
+		c.Outputs = 4
+	}
+	if c.LR == 0 {
+		c.LR = 1e-4
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 200
+	}
+	return c
+}
+
+// Graph is the preprocessed model input: node features plus the
+// mean-aggregation structure over in-neighbors (edge directions are
+// preserved, as the paper requires for DAG inputs).
+type Graph struct {
+	X *mat.Dense // NumNodes x FeatureDim
+	// Reverse adjacency in CSR: predecessors of node v are
+	// Pred[PredStart[v]:PredStart[v+1]].
+	PredStart []int32
+	Pred      []int32
+}
+
+// FromStarGraph converts a netlist/AIG star-model export into model
+// input form.
+func FromStarGraph(g *netlist.Graph) *Graph {
+	x := mat.FromRows(g.Features)
+	// Reverse the successor CSR.
+	n := g.NumNodes
+	count := make([]int32, n+1)
+	for u := 0; u < n; u++ {
+		for _, v := range g.Successors(u) {
+			count[v+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		count[i+1] += count[i]
+	}
+	pred := make([]int32, g.NumEdges())
+	cursor := make([]int32, n)
+	for u := 0; u < n; u++ {
+		for _, v := range g.Successors(u) {
+			pred[count[v]+cursor[v]] = int32(u)
+			cursor[v]++
+		}
+	}
+	return &Graph{X: x, PredStart: count, Pred: pred}
+}
+
+// aggregate computes out[v] = mean over predecessors u of h[u]
+// (zero for source nodes).
+func (g *Graph) aggregate(h, out *mat.Dense) {
+	out.Zero()
+	n := h.Rows
+	for v := 0; v < n; v++ {
+		lo, hi := g.PredStart[v], g.PredStart[v+1]
+		if lo == hi {
+			continue
+		}
+		oRow := out.Row(v)
+		inv := 1 / float64(hi-lo)
+		for _, u := range g.Pred[lo:hi] {
+			uRow := h.Row(int(u))
+			for j, uv := range uRow {
+				oRow[j] += uv * inv
+			}
+		}
+	}
+}
+
+// aggregateBack scatters gradients through the aggregation: for each
+// edge u->v, dH[u] += dAgg[v]/indeg(v).
+func (g *Graph) aggregateBack(dAgg, dH *mat.Dense) {
+	n := dAgg.Rows
+	for v := 0; v < n; v++ {
+		lo, hi := g.PredStart[v], g.PredStart[v+1]
+		if lo == hi {
+			continue
+		}
+		inv := 1 / float64(hi-lo)
+		aRow := dAgg.Row(v)
+		for _, u := range g.Pred[lo:hi] {
+			uRow := dH.Row(int(u))
+			for j, av := range aRow {
+				uRow[j] += av * inv
+			}
+		}
+	}
+}
+
+// Model is the trained predictor.
+type Model struct {
+	Cfg   Config
+	InDim int
+
+	// Graph-conv layer k: W aggregated term, B self term.
+	W1, B1 *mat.Dense
+	W2, B2 *mat.Dense
+	// Fully connected head.
+	FW, FBias *mat.Dense
+	OW, OBias *mat.Dense
+
+	adam *adamState
+}
+
+// NewModel initializes a model for the given input feature width.
+func NewModel(cfg Config, inDim int) *Model {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	m := &Model{
+		Cfg:   cfg,
+		InDim: inDim,
+		W1:    mat.New(inDim, cfg.Hidden1),
+		B1:    mat.New(inDim, cfg.Hidden1),
+		W2:    mat.New(cfg.Hidden1, cfg.Hidden2),
+		B2:    mat.New(cfg.Hidden1, cfg.Hidden2),
+		// The fully-connected head consumes the pooled embedding plus
+		// one explicit log-size feature (see forward).
+		FW:    mat.New(cfg.Hidden2+1, cfg.FCHidden),
+		FBias: mat.New(1, cfg.FCHidden),
+		OW:    mat.New(cfg.FCHidden, cfg.Outputs),
+		OBias: mat.New(1, cfg.Outputs),
+	}
+	for _, w := range []*mat.Dense{m.W1, m.B1, m.W2, m.B2, m.FW, m.OW} {
+		w.Glorot(rng)
+	}
+	m.adam = newAdamState(m.params())
+	return m
+}
+
+func (m *Model) params() []*mat.Dense {
+	return []*mat.Dense{m.W1, m.B1, m.W2, m.B2, m.FW, m.FBias, m.OW, m.OBias}
+}
+
+// forwardState caches activations for backprop.
+type forwardState struct {
+	g        *Graph
+	agg1, h1 *mat.Dense
+	mask1    *mat.Dense
+	agg2, h2 *mat.Dense
+	mask2    *mat.Dense
+	pooled   *mat.Dense
+	fc       *mat.Dense
+	fcMask   *mat.Dense
+	out      *mat.Dense
+}
+
+// forward runs the network on one graph.
+func (m *Model) forward(g *Graph) *forwardState {
+	st := &forwardState{g: g}
+	n := g.X.Rows
+
+	st.agg1 = mat.New(n, m.InDim)
+	g.aggregate(g.X, st.agg1)
+	st.h1 = mat.Mul(st.agg1, m.W1, nil)
+	selfTerm := mat.Mul(g.X, m.B1, nil)
+	mat.AddInPlace(st.h1, selfTerm)
+	st.mask1 = mat.ReLU(st.h1)
+
+	st.agg2 = mat.New(n, m.Cfg.Hidden1)
+	g.aggregate(st.h1, st.agg2)
+	st.h2 = mat.Mul(st.agg2, m.W2, nil)
+	selfTerm2 := mat.Mul(st.h1, m.B2, nil)
+	mat.AddInPlace(st.h2, selfTerm2)
+	st.mask2 = mat.ReLU(st.h2)
+
+	// Pooling over nodes builds the graph embedding. The embedding is
+	// normalized by node count (mean pooling keeps activations in a
+	// stable range across designs whose sizes span decades) and
+	// augmented with an explicit log-node-count feature, which is what
+	// lets the head extrapolate runtime to unseen design sizes.
+	pooledSum := mat.SumRows(st.h2)
+	pooledSum.Scale(1 / float64(maxIntG(n, 1)))
+	st.pooled = mat.New(1, m.Cfg.Hidden2+1)
+	copy(st.pooled.Data, pooledSum.Data)
+	st.pooled.Data[m.Cfg.Hidden2] = math.Log1p(float64(n))
+
+	st.fc = mat.Mul(st.pooled, m.FW, nil)
+	mat.AddInPlace(st.fc, m.FBias)
+	st.fcMask = mat.ReLU(st.fc)
+
+	st.out = mat.Mul(st.fc, m.OW, nil)
+	mat.AddInPlace(st.out, m.OBias)
+	return st
+}
+
+// Predict returns the raw (normalized-space) model outputs for a graph.
+func (m *Model) Predict(g *Graph) []float64 {
+	st := m.forward(g)
+	out := make([]float64, m.Cfg.Outputs)
+	copy(out, st.out.Data)
+	return out
+}
+
+// grads mirrors params().
+type grads struct {
+	dW1, dB1, dW2, dB2, dFW, dFBias, dOW, dOBias *mat.Dense
+}
+
+func (m *Model) newGrads() *grads {
+	return &grads{
+		dW1: mat.New(m.W1.Rows, m.W1.Cols), dB1: mat.New(m.B1.Rows, m.B1.Cols),
+		dW2: mat.New(m.W2.Rows, m.W2.Cols), dB2: mat.New(m.B2.Rows, m.B2.Cols),
+		dFW: mat.New(m.FW.Rows, m.FW.Cols), dFBias: mat.New(1, m.FBias.Cols),
+		dOW: mat.New(m.OW.Rows, m.OW.Cols), dOBias: mat.New(1, m.OBias.Cols),
+	}
+}
+
+func (g *grads) list() []*mat.Dense {
+	return []*mat.Dense{g.dW1, g.dB1, g.dW2, g.dB2, g.dFW, g.dFBias, g.dOW, g.dOBias}
+}
+
+// backward accumulates gradients of the squared-error loss for one
+// sample into gr and returns the sample loss.
+func (m *Model) backward(st *forwardState, target []float64, gr *grads) float64 {
+	// dOut = 2*(pred - target)/outputs.
+	k := float64(m.Cfg.Outputs)
+	dOut := mat.New(1, m.Cfg.Outputs)
+	var loss float64
+	for j := 0; j < m.Cfg.Outputs; j++ {
+		diff := st.out.Data[j] - target[j]
+		loss += diff * diff / k
+		dOut.Data[j] = 2 * diff / k
+	}
+
+	// Output layer.
+	mat.AddInPlace(gr.dOBias, dOut)
+	mat.AddInPlace(gr.dOW, mat.MulATB(st.fc, dOut, nil))
+	dFC := mat.MulABT(dOut, m.OW, nil)
+	mat.MulElem(dFC, st.fcMask)
+
+	// FC layer.
+	mat.AddInPlace(gr.dFBias, dFC)
+	mat.AddInPlace(gr.dFW, mat.MulATB(st.pooled, dFC, nil))
+	dPooled := mat.MulABT(dFC, m.FW, nil)
+
+	// Pooling broadcast: every node row receives the embedding part of
+	// dPooled scaled by 1/n (the size feature is an input, not
+	// backpropagated).
+	n := st.h2.Rows
+	dH2 := mat.New(n, m.Cfg.Hidden2)
+	inv := 1 / float64(maxIntG(n, 1))
+	for i := 0; i < n; i++ {
+		row := dH2.Row(i)
+		for j := 0; j < m.Cfg.Hidden2; j++ {
+			row[j] = dPooled.Data[j] * inv
+		}
+	}
+	mat.MulElem(dH2, st.mask2)
+
+	// Layer 2: h2 = agg2*W2 + h1*B2.
+	mat.AddInPlace(gr.dW2, mat.MulATB(st.agg2, dH2, nil))
+	mat.AddInPlace(gr.dB2, mat.MulATB(st.h1, dH2, nil))
+	dAgg2 := mat.MulABT(dH2, m.W2, nil)
+	dH1 := mat.MulABT(dH2, m.B2, nil)
+	st.g.aggregateBack(dAgg2, dH1)
+	mat.MulElem(dH1, st.mask1)
+
+	// Layer 1: h1 = agg1*W1 + X*B1.
+	mat.AddInPlace(gr.dW1, mat.MulATB(st.agg1, dH1, nil))
+	mat.AddInPlace(gr.dB1, mat.MulATB(st.g.X, dH1, nil))
+	// No gradient past the input features.
+	return loss
+}
+
+// Sample pairs a graph with its normalized target vector.
+type Sample struct {
+	Name    string
+	G       *Graph
+	Targets []float64
+}
+
+// TrainStats reports a training run.
+type TrainStats struct {
+	Epochs    int
+	FinalLoss float64
+	LossCurve []float64
+}
+
+// Train fits the model to the samples with per-sample (stochastic)
+// Adam updates, shuffling each epoch.
+func (m *Model) Train(samples []Sample) (TrainStats, error) {
+	if len(samples) == 0 {
+		return TrainStats{}, fmt.Errorf("gcn: no training samples")
+	}
+	for _, s := range samples {
+		if len(s.Targets) != m.Cfg.Outputs {
+			return TrainStats{}, fmt.Errorf("gcn: sample %q has %d targets, model wants %d",
+				s.Name, len(s.Targets), m.Cfg.Outputs)
+		}
+		if s.G.X.Cols != m.InDim {
+			return TrainStats{}, fmt.Errorf("gcn: sample %q feature width %d, model wants %d",
+				s.Name, s.G.X.Cols, m.InDim)
+		}
+	}
+	rng := rand.New(rand.NewSource(m.Cfg.Seed + 7))
+	order := make([]int, len(samples))
+	for i := range order {
+		order[i] = i
+	}
+	stats := TrainStats{Epochs: m.Cfg.Epochs}
+	for epoch := 0; epoch < m.Cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var epochLoss float64
+		for _, idx := range order {
+			s := samples[idx]
+			st := m.forward(s.G)
+			gr := m.newGrads()
+			epochLoss += m.backward(st, s.Targets, gr)
+			m.adam.step(m.params(), gr.list(), m.Cfg.LR)
+		}
+		epochLoss /= float64(len(samples))
+		stats.LossCurve = append(stats.LossCurve, epochLoss)
+		stats.FinalLoss = epochLoss
+	}
+	return stats, nil
+}
+
+// Loss returns the mean squared error of the model on a sample set.
+func (m *Model) Loss(samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var total float64
+	for _, s := range samples {
+		pred := m.Predict(s.G)
+		for j, p := range pred {
+			d := p - s.Targets[j]
+			total += d * d / float64(len(pred))
+		}
+	}
+	return total / float64(len(samples))
+}
+
+func maxIntG(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// adamState implements the Adam optimizer.
+type adamState struct {
+	t   int
+	mom []*mat.Dense
+	vel []*mat.Dense
+}
+
+func newAdamState(params []*mat.Dense) *adamState {
+	st := &adamState{}
+	for _, p := range params {
+		st.mom = append(st.mom, mat.New(p.Rows, p.Cols))
+		st.vel = append(st.vel, mat.New(p.Rows, p.Cols))
+	}
+	return st
+}
+
+const (
+	adamBeta1 = 0.9
+	adamBeta2 = 0.999
+	adamEps   = 1e-8
+)
+
+func (a *adamState) step(params, grads []*mat.Dense, lr float64) {
+	a.t++
+	bc1 := 1 - math.Pow(adamBeta1, float64(a.t))
+	bc2 := 1 - math.Pow(adamBeta2, float64(a.t))
+	for i, p := range params {
+		g := grads[i]
+		mo := a.mom[i]
+		ve := a.vel[i]
+		for k := range p.Data {
+			gv := g.Data[k]
+			mo.Data[k] = adamBeta1*mo.Data[k] + (1-adamBeta1)*gv
+			ve.Data[k] = adamBeta2*ve.Data[k] + (1-adamBeta2)*gv*gv
+			mHat := mo.Data[k] / bc1
+			vHat := ve.Data[k] / bc2
+			p.Data[k] -= lr * mHat / (math.Sqrt(vHat) + adamEps)
+		}
+	}
+}
+
+// TargetScaler normalizes runtimes into log-space z-scores per output,
+// the stabilization the predictor trains in; Invert maps predictions
+// back to seconds.
+type TargetScaler struct {
+	Mean, Std []float64
+}
+
+// FitScaler computes per-output statistics over log1p(runtimes).
+func FitScaler(targets [][]float64) *TargetScaler {
+	if len(targets) == 0 {
+		return &TargetScaler{}
+	}
+	k := len(targets[0])
+	sc := &TargetScaler{Mean: make([]float64, k), Std: make([]float64, k)}
+	for _, t := range targets {
+		for j, v := range t {
+			sc.Mean[j] += math.Log1p(v)
+		}
+	}
+	for j := range sc.Mean {
+		sc.Mean[j] /= float64(len(targets))
+	}
+	for _, t := range targets {
+		for j, v := range t {
+			d := math.Log1p(v) - sc.Mean[j]
+			sc.Std[j] += d * d
+		}
+	}
+	for j := range sc.Std {
+		sc.Std[j] = math.Sqrt(sc.Std[j] / float64(len(targets)))
+		if sc.Std[j] < 1e-9 {
+			sc.Std[j] = 1
+		}
+	}
+	return sc
+}
+
+// Transform maps runtimes (seconds) to normalized space.
+func (sc *TargetScaler) Transform(t []float64) []float64 {
+	out := make([]float64, len(t))
+	for j, v := range t {
+		out[j] = (math.Log1p(v) - sc.Mean[j]) / sc.Std[j]
+	}
+	return out
+}
+
+// Invert maps normalized predictions back to seconds, clamping at
+// zero (a runtime cannot be negative however wrong the model is).
+func (sc *TargetScaler) Invert(z []float64) []float64 {
+	out := make([]float64, len(z))
+	for j, v := range z {
+		out[j] = math.Expm1(v*sc.Std[j] + sc.Mean[j])
+		if out[j] < 0 {
+			out[j] = 0
+		}
+	}
+	return out
+}

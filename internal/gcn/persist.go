@@ -1,0 +1,209 @@
+package gcn
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"edacloud/internal/mat"
+)
+
+// Model persistence: training the predictor costs minutes of flow runs
+// and epochs, so deployments train once and ship the weights. The
+// format is a line-oriented text container (exact float64 round-trip
+// via strconv 'g' with full precision).
+
+const modelMagic = "edacloud-gcn-v1"
+
+// Save serializes the model's configuration, scaler-independent
+// weights and Adam-free state.
+func (m *Model) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, modelMagic)
+	fmt.Fprintf(bw, "config %d %d %d %d %d %s %d %d\n",
+		m.Cfg.Hidden1, m.Cfg.Hidden2, m.Cfg.FCHidden, m.Cfg.Outputs,
+		m.Cfg.Epochs, strconv.FormatFloat(m.Cfg.LR, 'g', -1, 64), m.Cfg.Seed, m.InDim)
+	names := []string{"W1", "B1", "W2", "B2", "FW", "FBias", "OW", "OBias"}
+	for i, p := range m.params() {
+		if err := writeMatrix(bw, names[i], p); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(bw, "end")
+	return bw.Flush()
+}
+
+func writeMatrix(w io.Writer, name string, d *mat.Dense) error {
+	if _, err := fmt.Fprintf(w, "matrix %s %d %d\n", name, d.Rows, d.Cols); err != nil {
+		return err
+	}
+	for i := 0; i < d.Rows; i++ {
+		row := d.Row(i)
+		parts := make([]string, len(row))
+		for j, v := range row {
+			parts[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(parts, " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadModel parses a model written by Save. The returned model is
+// ready for Predict and for further Train calls (optimizer state
+// restarts fresh).
+func ReadModel(r io.Reader) (*Model, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	return ReadModelFrom(sc)
+}
+
+// ReadModelFrom parses a model section from an existing scanner,
+// consuming exactly the lines Save produced — the container format
+// used by core's predictor bundles.
+func ReadModelFrom(sc *bufio.Scanner) (*Model, error) {
+	if !sc.Scan() || sc.Text() != modelMagic {
+		return nil, fmt.Errorf("gcn: not a %s stream", modelMagic)
+	}
+	if !sc.Scan() {
+		return nil, fmt.Errorf("gcn: missing config line")
+	}
+	f := strings.Fields(sc.Text())
+	if len(f) != 9 || f[0] != "config" {
+		return nil, fmt.Errorf("gcn: bad config line %q", sc.Text())
+	}
+	ints := make([]int, 5)
+	for i := 0; i < 5; i++ {
+		v, err := strconv.Atoi(f[1+i])
+		if err != nil {
+			return nil, fmt.Errorf("gcn: bad config field %q", f[1+i])
+		}
+		ints[i] = v
+	}
+	lr, err := strconv.ParseFloat(f[6], 64)
+	if err != nil {
+		return nil, fmt.Errorf("gcn: bad learning rate %q", f[6])
+	}
+	seed, err := strconv.ParseInt(f[7], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("gcn: bad seed %q", f[7])
+	}
+	inDim, err := strconv.Atoi(f[8])
+	if err != nil {
+		return nil, fmt.Errorf("gcn: bad input dim %q", f[8])
+	}
+	cfg := Config{
+		Hidden1: ints[0], Hidden2: ints[1], FCHidden: ints[2],
+		Outputs: ints[3], Epochs: ints[4], LR: lr, Seed: seed,
+	}
+	m := NewModel(cfg, inDim)
+
+	for _, want := range m.params() {
+		name, d, err := readMatrix(sc)
+		if err != nil {
+			return nil, err
+		}
+		if d.Rows != want.Rows || d.Cols != want.Cols {
+			return nil, fmt.Errorf("gcn: matrix %s is %dx%d, want %dx%d",
+				name, d.Rows, d.Cols, want.Rows, want.Cols)
+		}
+		copy(want.Data, d.Data)
+	}
+	if !sc.Scan() || sc.Text() != "end" {
+		return nil, fmt.Errorf("gcn: missing end marker")
+	}
+	return m, nil
+}
+
+func readMatrix(sc *bufio.Scanner) (string, *mat.Dense, error) {
+	if !sc.Scan() {
+		return "", nil, fmt.Errorf("gcn: unexpected end of stream")
+	}
+	f := strings.Fields(sc.Text())
+	if len(f) != 4 || f[0] != "matrix" {
+		return "", nil, fmt.Errorf("gcn: bad matrix header %q", sc.Text())
+	}
+	rows, err1 := strconv.Atoi(f[2])
+	cols, err2 := strconv.Atoi(f[3])
+	if err1 != nil || err2 != nil || rows < 0 || cols < 0 {
+		return "", nil, fmt.Errorf("gcn: bad matrix shape %q", sc.Text())
+	}
+	d := mat.New(rows, cols)
+	for i := 0; i < rows; i++ {
+		if !sc.Scan() {
+			return "", nil, fmt.Errorf("gcn: matrix %s truncated", f[1])
+		}
+		vals := strings.Fields(sc.Text())
+		if len(vals) != cols {
+			return "", nil, fmt.Errorf("gcn: matrix %s row %d has %d values, want %d",
+				f[1], i, len(vals), cols)
+		}
+		row := d.Row(i)
+		for j, v := range vals {
+			x, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return "", nil, fmt.Errorf("gcn: matrix %s bad value %q", f[1], v)
+			}
+			row[j] = x
+		}
+	}
+	return f[1], d, nil
+}
+
+// Save serializes a scaler (means then stds).
+func (sc *TargetScaler) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "scaler %d\n", len(sc.Mean))
+	for _, row := range [][]float64{sc.Mean, sc.Std} {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		fmt.Fprintln(bw, strings.Join(parts, " "))
+	}
+	return bw.Flush()
+}
+
+// ReadScaler parses a scaler written by TargetScaler.Save.
+func ReadScaler(r io.Reader) (*TargetScaler, error) {
+	sc := bufio.NewScanner(r)
+	return ReadScalerFrom(sc)
+}
+
+// ReadScalerFrom parses a scaler section from an existing scanner.
+func ReadScalerFrom(sc *bufio.Scanner) (*TargetScaler, error) {
+	if !sc.Scan() {
+		return nil, fmt.Errorf("gcn: empty scaler stream")
+	}
+	f := strings.Fields(sc.Text())
+	if len(f) != 2 || f[0] != "scaler" {
+		return nil, fmt.Errorf("gcn: bad scaler header %q", sc.Text())
+	}
+	n, err := strconv.Atoi(f[1])
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("gcn: bad scaler width %q", f[1])
+	}
+	out := &TargetScaler{}
+	for _, dst := range []*[]float64{&out.Mean, &out.Std} {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("gcn: scaler truncated")
+		}
+		vals := strings.Fields(sc.Text())
+		if len(vals) != n {
+			return nil, fmt.Errorf("gcn: scaler row has %d values, want %d", len(vals), n)
+		}
+		row := make([]float64, n)
+		for i, v := range vals {
+			x, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return nil, fmt.Errorf("gcn: bad scaler value %q", v)
+			}
+			row[i] = x
+		}
+		*dst = row
+	}
+	return out, nil
+}

@@ -1,0 +1,91 @@
+package gcn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"edacloud/internal/netlist"
+)
+
+func TestModelPersistenceRoundTrip(t *testing.T) {
+	g := benchGraph(t, "int2float", 0.1)
+	m := NewModel(tinyConfig(), netlist.FeatureDim)
+	// Train briefly so weights are non-initial.
+	samples := []Sample{{Name: "s", G: g, Targets: []float64{0.1, 0.2, 0.3, 0.4}}}
+	if _, err := m.Train(samples); err != nil {
+		t.Fatal(err)
+	}
+	before := m.Predict(g)
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	back, err := ReadModel(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	after := back.Predict(g)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("prediction changed: %v vs %v", before, after)
+		}
+	}
+	if back.Cfg != m.Cfg || back.InDim != m.InDim {
+		t.Fatalf("config changed: %+v vs %+v", back.Cfg, m.Cfg)
+	}
+	// The loaded model must remain trainable.
+	if _, err := back.Train(samples); err != nil {
+		t.Fatalf("loaded model cannot train: %v", err)
+	}
+}
+
+func TestModelPersistenceRejectsCorruption(t *testing.T) {
+	m := NewModel(tinyConfig(), netlist.FeatureDim)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+	cases := []string{
+		"",
+		"not-a-model\n",
+		strings.Replace(good, modelMagic, "wrong-magic", 1),
+		strings.Replace(good, "config", "confg", 1),
+		strings.Replace(good, "matrix W1", "matrix W9 9 9\nmatrix W1", 1),
+		strings.Replace(good, "end\n", "", 1),
+		good[:len(good)/2],
+	}
+	for i, src := range cases {
+		if _, err := ReadModel(strings.NewReader(src)); err == nil {
+			t.Errorf("corruption %d accepted", i)
+		}
+	}
+}
+
+func TestScalerPersistenceRoundTrip(t *testing.T) {
+	sc := FitScaler([][]float64{{100, 50, 25, 12}, {1000, 600, 300, 150}, {10, 8, 6, 4}})
+	var buf bytes.Buffer
+	if err := sc.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadScaler(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []float64{123, 60, 31, 14}
+	a := sc.Transform(in)
+	b := back.Transform(in)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("transform changed: %v vs %v", a, b)
+		}
+	}
+	if _, err := ReadScaler(strings.NewReader("bogus")); err == nil {
+		t.Fatal("bad scaler accepted")
+	}
+	if _, err := ReadScaler(strings.NewReader("scaler 4\n1 2 3")); err == nil {
+		t.Fatal("truncated scaler accepted")
+	}
+}

@@ -1,0 +1,213 @@
+// Package mat provides the dense float64 matrix kernels underlying the
+// GCN runtime predictor: row-major storage, cache-blocked
+// multiplication, transposed-operand products for backpropagation, and
+// elementwise helpers.
+package mat
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dense is a row-major matrix. The zero value is not usable; construct
+// with New or FromRows.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// New returns a zeroed Rows x Cols matrix.
+func New(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative dimensions %dx%d", rows, cols))
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows copies a slice of equal-length rows into a Dense.
+func FromRows(rows [][]float64) *Dense {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic(fmt.Sprintf("mat: ragged row %d (%d vs %d)", i, len(r), m.Cols))
+		}
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a shared slice.
+func (m *Dense) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero clears the matrix in place.
+func (m *Dense) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Glorot fills the matrix with Xavier/Glorot-uniform random weights.
+func (m *Dense) Glorot(rng *rand.Rand) {
+	limit := math.Sqrt(6 / float64(m.Rows+m.Cols))
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+}
+
+// Mul computes out = a * b, allocating out when nil is passed.
+func Mul(a, b, out *Dense) *Dense {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: Mul shape mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out = prep(out, a.Rows, b.Cols)
+	// ikj loop order: streams b rows, accumulates into out rows.
+	for i := 0; i < a.Rows; i++ {
+		oRow := out.Row(i)
+		aRow := a.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			aik := aRow[k]
+			if aik == 0 {
+				continue
+			}
+			bRow := b.Row(k)
+			for j := range oRow {
+				oRow[j] += aik * bRow[j]
+			}
+		}
+	}
+	return out
+}
+
+// MulATB computes out = aᵀ * b (for weight gradients).
+func MulATB(a, b, out *Dense) *Dense {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("mat: MulATB shape mismatch %dx%d, %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out = prep(out, a.Cols, b.Cols)
+	for r := 0; r < a.Rows; r++ {
+		aRow := a.Row(r)
+		bRow := b.Row(r)
+		for i, av := range aRow {
+			if av == 0 {
+				continue
+			}
+			oRow := out.Row(i)
+			for j, bv := range bRow {
+				oRow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulABT computes out = a * bᵀ (for input gradients).
+func MulABT(a, b, out *Dense) *Dense {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MulABT shape mismatch %dx%d, %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out = prep(out, a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		aRow := a.Row(i)
+		oRow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			bRow := b.Row(j)
+			var acc float64
+			for k, av := range aRow {
+				acc += av * bRow[k]
+			}
+			oRow[j] = acc
+		}
+	}
+	return out
+}
+
+func prep(out *Dense, rows, cols int) *Dense {
+	if out == nil {
+		return New(rows, cols)
+	}
+	if out.Rows != rows || out.Cols != cols {
+		panic(fmt.Sprintf("mat: output shape %dx%d, want %dx%d", out.Rows, out.Cols, rows, cols))
+	}
+	out.Zero()
+	return out
+}
+
+// AddInPlace computes a += b.
+func AddInPlace(a, b *Dense) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("mat: AddInPlace shape mismatch")
+	}
+	for i, v := range b.Data {
+		a.Data[i] += v
+	}
+}
+
+// Scale multiplies every element by s in place.
+func (m *Dense) Scale(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// ReLU applies max(0, x) in place and returns a mask matrix with 1
+// where the activation passed through (for backprop).
+func ReLU(m *Dense) *Dense {
+	mask := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		if v > 0 {
+			mask.Data[i] = 1
+		} else {
+			m.Data[i] = 0
+		}
+	}
+	return mask
+}
+
+// MulElem computes a *= b elementwise (used with ReLU masks).
+func MulElem(a, b *Dense) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("mat: MulElem shape mismatch")
+	}
+	for i, v := range b.Data {
+		a.Data[i] *= v
+	}
+}
+
+// SumRows returns the column-wise sum as a 1 x Cols matrix
+// (sum-pooling over graph nodes).
+func SumRows(m *Dense) *Dense {
+	out := New(1, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j] += v
+		}
+	}
+	return out
+}
+
+// Frob returns the Frobenius norm.
+func (m *Dense) Frob() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}

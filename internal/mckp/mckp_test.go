@@ -1,0 +1,272 @@
+package mckp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// paperClasses reproduces the runtime/cost table of the paper's
+// Table I (sparc_core: synthesis, placement, routing, STA at 1/2/4/8
+// vCPUs).
+func paperClasses() []Class {
+	mk := func(name string, times [4]int, costs [4]float64) Class {
+		cl := Class{Name: name}
+		labels := [4]string{"1vCPU", "2vCPU", "4vCPU", "8vCPU"}
+		for i := 0; i < 4; i++ {
+			cl.Items = append(cl.Items, Item{Label: labels[i], TimeSec: times[i], Cost: costs[i]})
+		}
+		return cl
+	}
+	return []Class{
+		mk("synthesis", [4]int{6100, 4342, 3449, 3352}, [4]float64{0.16, 0.15, 0.19, 0.37}),
+		mk("placement", [4]int{1206, 905, 644, 519}, [4]float64{0.04, 0.04, 0.05, 0.08}),
+		mk("routing", [4]int{10461, 5514, 2894, 1692}, [4]float64{0.32, 0.25, 0.21, 0.25}),
+		mk("sta", [4]int{183, 119, 90, 82}, [4]float64{0.02, 0.01, 0.02, 0.05}),
+	}
+}
+
+func TestPaperTableIConstraints(t *testing.T) {
+	classes := paperClasses()
+	// The paper's Table I rows: 10000s and 6000s feasible, 5645s
+	// exactly achievable, 5000s NA.
+	cases := []struct {
+		deadline int
+		feasible bool
+	}{
+		{10000, true},
+		{6000, true},
+		{5645, true},
+		{5000, false},
+	}
+	var prevCost float64
+	for _, c := range cases {
+		sel, err := SolveMinCost(classes, c.deadline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sel.Feasible != c.feasible {
+			t.Fatalf("deadline %d: feasible=%v, want %v", c.deadline, sel.Feasible, c.feasible)
+		}
+		if !sel.Feasible {
+			continue
+		}
+		if sel.TotalTime > c.deadline {
+			t.Fatalf("deadline %d: total time %d exceeds it", c.deadline, sel.TotalTime)
+		}
+		// Tighter deadlines can only cost more (paper's rising Min Cost column).
+		if prevCost > 0 && sel.TotalCost < prevCost-1e-9 {
+			t.Fatalf("deadline %d: cost %f dropped below looser deadline's %f",
+				c.deadline, sel.TotalCost, prevCost)
+		}
+		prevCost = sel.TotalCost
+	}
+	// The minimum achievable time is 5645s in the paper's data.
+	if got := MinTotalTime(classes); got != 3352+519+1692+82 {
+		t.Fatalf("MinTotalTime = %d", got)
+	}
+}
+
+func TestPaperObjectiveSolver(t *testing.T) {
+	classes := paperClasses()
+	sel, err := SolvePaper(classes, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sel.Feasible || sel.TotalTime > 10000 {
+		t.Fatalf("paper solver: %+v", sel)
+	}
+	if sel.Objective <= 0 {
+		t.Fatal("objective not reported")
+	}
+	// Objective must equal sum of reciprocal picked costs.
+	var want float64
+	for l, j := range sel.Pick {
+		want += 1 / classes[l].Items[j].Cost
+	}
+	if math.Abs(want-sel.Objective) > 1e-9 {
+		t.Fatalf("objective %f != recomputed %f", sel.Objective, want)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := SolveMinCost(nil, 10); err == nil {
+		t.Fatal("empty classes accepted")
+	}
+	if _, err := SolveMinCost([]Class{{Name: "x"}}, 10); err == nil {
+		t.Fatal("empty class accepted")
+	}
+	bad := []Class{{Name: "x", Items: []Item{{TimeSec: -1, Cost: 1}}}}
+	if _, err := SolveMinCost(bad, 10); err == nil {
+		t.Fatal("negative time accepted")
+	}
+	ok := []Class{{Name: "x", Items: []Item{{TimeSec: 1, Cost: 1}}}}
+	if _, err := SolveMinCost(ok, -1); err == nil {
+		t.Fatal("negative deadline accepted")
+	}
+	if _, err := SolvePaper(nil, 10); err == nil {
+		t.Fatal("paper solver skipped validation")
+	}
+	if _, err := SolveGreedy(nil, 10); err == nil {
+		t.Fatal("greedy skipped validation")
+	}
+}
+
+// bruteForce enumerates all selections to find the true min cost.
+func bruteForce(classes []Class, deadline int) Selection {
+	best := Selection{Feasible: false}
+	var rec func(l, t int, cost float64, pick []int)
+	rec = func(l, t int, cost float64, pick []int) {
+		if t > deadline {
+			return
+		}
+		if l == len(classes) {
+			if !best.Feasible || cost < best.TotalCost {
+				best = Selection{
+					Feasible: true, Pick: append([]int(nil), pick...),
+					TotalTime: t, TotalCost: cost,
+				}
+			}
+			return
+		}
+		for j, it := range classes[l].Items {
+			rec(l+1, t+it.TimeSec, cost+it.Cost, append(pick, j))
+		}
+	}
+	rec(0, 0, 0, nil)
+	return best
+}
+
+// Property: the DP matches brute force on random instances.
+func TestQuickDPOptimal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nClasses := rng.Intn(3) + 2
+		classes := make([]Class, nClasses)
+		for l := range classes {
+			n := rng.Intn(3) + 1
+			for j := 0; j < n; j++ {
+				classes[l].Items = append(classes[l].Items, Item{
+					TimeSec: rng.Intn(40),
+					Cost:    float64(rng.Intn(100)) / 10,
+				})
+			}
+		}
+		deadline := rng.Intn(120)
+		got, err := SolveMinCost(classes, deadline)
+		if err != nil {
+			return false
+		}
+		want := bruteForce(classes, deadline)
+		if got.Feasible != want.Feasible {
+			return false
+		}
+		if !got.Feasible {
+			return true
+		}
+		return math.Abs(got.TotalCost-want.TotalCost) < 1e-9 && got.TotalTime <= deadline
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: greedy is never cheaper than the optimal DP.
+func TestQuickGreedyNeverBeatsDP(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		classes := make([]Class, 3)
+		for l := range classes {
+			for j := 0; j < 4; j++ {
+				classes[l].Items = append(classes[l].Items, Item{
+					TimeSec: 10 + rng.Intn(100),
+					Cost:    0.5 + float64(rng.Intn(50))/10,
+				})
+			}
+		}
+		deadline := 60 + rng.Intn(250)
+		dp, err1 := SolveMinCost(classes, deadline)
+		gr, err2 := SolveGreedy(classes, deadline)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if !dp.Feasible {
+			// If the optimal DP finds nothing, greedy must not either.
+			return !gr.Feasible
+		}
+		if !gr.Feasible {
+			return true // greedy may fail where DP succeeds
+		}
+		return gr.TotalCost >= dp.TotalCost-1e-9 && gr.TotalTime <= deadline
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFixedProvisionBaselines(t *testing.T) {
+	classes := paperClasses()
+	over, err := FixedProvision(classes, Fastest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	under, err := FixedProvision(classes, Cheapest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Over-provisioning is the fastest and most expensive extreme in
+	// the paper's data; under-provisioning the slowest.
+	if over.TotalTime >= under.TotalTime {
+		t.Fatalf("over-provision time %d not below under-provision %d", over.TotalTime, under.TotalTime)
+	}
+	opt, err := SolveMinCost(classes, over.TotalTime+2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opt.Feasible || opt.TotalCost > over.TotalCost {
+		t.Fatalf("optimizer (%f) not cheaper than over-provisioning (%f)", opt.TotalCost, over.TotalCost)
+	}
+	bad := func(Class) int { return 99 }
+	if _, err := FixedProvision(classes, bad); err == nil {
+		t.Fatal("out-of-range provision accepted")
+	}
+}
+
+func TestTightestFeasibleDeadlinePicksFastest(t *testing.T) {
+	classes := paperClasses()
+	minTime := MinTotalTime(classes)
+	sel, err := SolveMinCost(classes, minTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sel.Feasible || sel.TotalTime != minTime {
+		t.Fatalf("tightest deadline: %+v", sel)
+	}
+	for l, j := range sel.Pick {
+		if j != Fastest(classes[l]) {
+			t.Fatalf("class %d: picked %d, not fastest", l, j)
+		}
+	}
+	// One second tighter must be NA.
+	na, err := SolveMinCost(classes, minTime-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if na.Feasible {
+		t.Fatal("sub-minimum deadline reported feasible")
+	}
+}
+
+func TestZeroDeadlineZeroTimes(t *testing.T) {
+	classes := []Class{
+		{Name: "a", Items: []Item{{TimeSec: 0, Cost: 2}, {TimeSec: 0, Cost: 1}}},
+	}
+	sel, err := SolveMinCost(classes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sel.Feasible || sel.TotalCost != 1 {
+		t.Fatalf("zero-time selection: %+v", sel)
+	}
+}

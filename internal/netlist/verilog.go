@@ -1,0 +1,398 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"edacloud/internal/techlib"
+)
+
+// WriteVerilog serializes the netlist as structural Verilog: one
+// module with the design's ports, wire declarations, and one instance
+// per cell using named port connections — the interchange format every
+// downstream physical tool consumes.
+func (n *Netlist) WriteVerilog(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+
+	name := sanitizeID(n.Name)
+	if name == "" {
+		name = "top"
+	}
+	var ports []string
+	for _, p := range n.PIs {
+		ports = append(ports, sanitizeID(p.Name))
+	}
+	for _, p := range n.POs {
+		ports = append(ports, sanitizeID(p.Name))
+	}
+	fmt.Fprintf(bw, "module %s (%s);\n", name, strings.Join(ports, ", "))
+
+	for _, p := range n.PIs {
+		fmt.Fprintf(bw, "  input %s;\n", sanitizeID(p.Name))
+	}
+	for _, p := range n.POs {
+		fmt.Fprintf(bw, "  output %s;\n", sanitizeID(p.Name))
+	}
+
+	// Net names: PI nets take their port name; PO nets are assigned
+	// from their driver wire; everything else gets a wire declaration.
+	netName := make([]string, len(n.Nets))
+	for i, p := range n.PIs {
+		netName[p.Net] = sanitizeID(n.PIs[i].Name)
+	}
+	for id := range n.Nets {
+		if netName[id] == "" {
+			base := n.Nets[id].Name
+			if base == "" {
+				base = fmt.Sprintf("n%d", id)
+			}
+			netName[id] = sanitizeID(base)
+		}
+	}
+	// Deduplicate wire names that sanitization may have collided.
+	seen := map[string]int{}
+	for id := range netName {
+		nm := netName[id]
+		if c, ok := seen[nm]; ok {
+			seen[nm] = c + 1
+			netName[id] = fmt.Sprintf("%s__%d", nm, c+1)
+		} else {
+			seen[nm] = 0
+		}
+	}
+
+	declared := map[string]bool{}
+	for _, p := range n.PIs {
+		declared[netName[p.Net]] = true
+	}
+	var wires []string
+	for id := range n.Nets {
+		if !declared[netName[id]] {
+			wires = append(wires, netName[id])
+			declared[netName[id]] = true
+		}
+	}
+	sort.Strings(wires)
+	for _, wn := range wires {
+		fmt.Fprintf(bw, "  wire %s;\n", wn)
+	}
+
+	for id := range n.Cells {
+		c := &n.Cells[id]
+		var conns []string
+		for pin, net := range c.Ins {
+			if net == NoNet {
+				continue
+			}
+			conns = append(conns, fmt.Sprintf(".%s(%s)", c.Type.Inputs[pin].Name, netName[net]))
+		}
+		if c.Out != NoNet {
+			conns = append(conns, fmt.Sprintf(".%s(%s)", c.Type.Output, netName[c.Out]))
+		}
+		inst := sanitizeID(c.Name)
+		if inst == "" {
+			inst = fmt.Sprintf("u%d", id)
+		}
+		fmt.Fprintf(bw, "  %s %s (%s);\n", c.Type.Name, inst, strings.Join(conns, ", "))
+	}
+
+	for _, p := range n.POs {
+		po := sanitizeID(p.Name)
+		if netName[p.Net] != po {
+			fmt.Fprintf(bw, "  assign %s = %s;\n", po, netName[p.Net])
+		}
+	}
+	fmt.Fprintf(bw, "endmodule\n")
+	return bw.Flush()
+}
+
+// sanitizeID turns an arbitrary name into a Verilog-legal identifier.
+func sanitizeID(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// ParseVerilog reads the structural subset produced by WriteVerilog
+// (and by typical synthesis tools): one module, scalar ports and
+// wires, gate instances with named port connections, and simple
+// wire-to-wire assigns. The referenced cell types must exist in lib.
+func ParseVerilog(r io.Reader, lib *techlib.Library) (*Netlist, error) {
+	toks, err := tokenizeVerilog(r)
+	if err != nil {
+		return nil, err
+	}
+	p := &vParser{toks: toks, lib: lib}
+	return p.parseModule()
+}
+
+// tokenizeVerilog splits the stream into identifiers, punctuation and
+// keywords, stripping // and /* */ comments.
+func tokenizeVerilog(r io.Reader) ([]string, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	src := string(data)
+	var toks []string
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			end := strings.Index(src[i+2:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("netlist: unterminated block comment")
+			}
+			i += end + 4
+		case isIdentChar(c):
+			j := i
+			for j < len(src) && isIdentChar(src[j]) {
+				j++
+			}
+			toks = append(toks, src[i:j])
+			i = j
+		case strings.IndexByte("();,.=", c) >= 0:
+			toks = append(toks, string(c))
+			i++
+		default:
+			return nil, fmt.Errorf("netlist: unexpected character %q", c)
+		}
+	}
+	return toks, nil
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || c == '$' || c == '\\' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+type vParser struct {
+	toks []string
+	pos  int
+	lib  *techlib.Library
+}
+
+func (p *vParser) peek() string {
+	if p.pos >= len(p.toks) {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *vParser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *vParser) expect(t string) error {
+	if got := p.next(); got != t {
+		return fmt.Errorf("netlist: expected %q, got %q", t, got)
+	}
+	return nil
+}
+
+// identList parses "a, b, c" up to (but not consuming) a terminator.
+func (p *vParser) identList(term string) ([]string, error) {
+	var out []string
+	for {
+		id := p.next()
+		if id == "" {
+			return nil, fmt.Errorf("netlist: unexpected end of input in list")
+		}
+		out = append(out, id)
+		switch p.peek() {
+		case ",":
+			p.next()
+		case term:
+			return out, nil
+		default:
+			return nil, fmt.Errorf("netlist: expected ',' or %q, got %q", term, p.peek())
+		}
+	}
+}
+
+func (p *vParser) parseModule() (*Netlist, error) {
+	if err := p.expect("module"); err != nil {
+		return nil, err
+	}
+	modName := p.next()
+	if modName == "" {
+		return nil, fmt.Errorf("netlist: missing module name")
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	if _, err := p.identList(")"); err != nil {
+		return nil, err
+	}
+	p.next() // ')'
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+
+	nl := New(modName, p.lib)
+	nets := map[string]NetID{}
+	var outputs []string
+	type assign struct{ lhs, rhs string }
+	var assigns []assign
+
+	getNet := func(name string) NetID {
+		if id, ok := nets[name]; ok {
+			return id
+		}
+		id := nl.AddNet(name)
+		nets[name] = id
+		return id
+	}
+
+	for {
+		switch tok := p.next(); tok {
+		case "endmodule":
+			// Outputs resolve after all assigns are known: a PO is fed
+			// either directly by its named net or through an assign.
+			rhsOf := map[string]string{}
+			for _, a := range assigns {
+				rhsOf[a.lhs] = a.rhs
+			}
+			for _, name := range outputs {
+				src := name
+				for seen := 0; seen < len(assigns)+1; seen++ {
+					if r, ok := rhsOf[src]; ok {
+						src = r
+						continue
+					}
+					break
+				}
+				id, ok := nets[src]
+				if !ok {
+					return nil, fmt.Errorf("netlist: output %s has no driver net", name)
+				}
+				nl.AddPO(name, id)
+			}
+			if err := nl.Check(); err != nil {
+				return nil, fmt.Errorf("netlist: parsed module invalid: %w", err)
+			}
+			return nl, nil
+		case "input":
+			names, err := p.identList(";")
+			if err != nil {
+				return nil, err
+			}
+			p.next() // ';'
+			for _, name := range names {
+				if _, dup := nets[name]; dup {
+					return nil, fmt.Errorf("netlist: duplicate signal %s", name)
+				}
+				nets[name] = nl.AddPI(name)
+			}
+		case "output":
+			names, err := p.identList(";")
+			if err != nil {
+				return nil, err
+			}
+			p.next() // ';'
+			outputs = append(outputs, names...)
+		case "wire":
+			names, err := p.identList(";")
+			if err != nil {
+				return nil, err
+			}
+			p.next() // ';'
+			for _, name := range names {
+				getNet(name)
+			}
+		case "assign":
+			lhs := p.next()
+			if err := p.expect("="); err != nil {
+				return nil, err
+			}
+			rhs := p.next()
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			assigns = append(assigns, assign{lhs, rhs})
+		case "":
+			return nil, fmt.Errorf("netlist: unexpected end of input (missing endmodule)")
+		default:
+			// Cell instance: TYPE name ( .pin(net), ... );
+			typ := p.lib.Cell(tok)
+			if typ == nil {
+				return nil, fmt.Errorf("netlist: unknown cell type %q", tok)
+			}
+			inst := p.next()
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			ins := make([]NetID, typ.NumInputs())
+			for i := range ins {
+				ins[i] = NoNet
+			}
+			out := NoNet
+			for {
+				if err := p.expect("."); err != nil {
+					return nil, err
+				}
+				pin := p.next()
+				if err := p.expect("("); err != nil {
+					return nil, err
+				}
+				net := getNet(p.next())
+				if err := p.expect(")"); err != nil {
+					return nil, err
+				}
+				if pin == typ.Output {
+					out = net
+				} else {
+					found := false
+					for i, ip := range typ.Inputs {
+						if ip.Name == pin {
+							ins[i] = net
+							found = true
+							break
+						}
+					}
+					if !found {
+						return nil, fmt.Errorf("netlist: cell %s has no pin %q", typ.Name, pin)
+					}
+				}
+				if p.peek() == "," {
+					p.next()
+					continue
+				}
+				break
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			if _, err := nl.AddCell(inst, typ, ins, out); err != nil {
+				return nil, err
+			}
+		}
+	}
+}

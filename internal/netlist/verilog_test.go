@@ -1,0 +1,164 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestVerilogRoundTrip(t *testing.T) {
+	n := buildSmall(t)
+	var buf bytes.Buffer
+	if err := n.WriteVerilog(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	src := buf.String()
+	for _, want := range []string{"module small", "input a;", "output f;", "NAND2_X1", "DFF_X1", "endmodule"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("verilog missing %q in:\n%s", want, src)
+		}
+	}
+	back, err := ParseVerilog(strings.NewReader(src), lib)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	if back.NumCells() != n.NumCells() {
+		t.Fatalf("cells %d -> %d", n.NumCells(), back.NumCells())
+	}
+	if len(back.PIs) != len(n.PIs) || len(back.POs) != len(n.POs) {
+		t.Fatalf("ports changed: %d/%d vs %d/%d", len(back.PIs), len(back.POs), len(n.PIs), len(n.POs))
+	}
+	if err := back.Check(); err != nil {
+		t.Fatalf("round-tripped netlist invalid: %v", err)
+	}
+	// Cell type multiset must survive.
+	count := func(nl *Netlist) map[string]int {
+		m := map[string]int{}
+		for i := range nl.Cells {
+			m[nl.Cells[i].Type.Name]++
+		}
+		return m
+	}
+	a, b := count(n), count(back)
+	for k, v := range a {
+		if b[k] != v {
+			t.Errorf("cell count %s: %d vs %d", k, v, b[k])
+		}
+	}
+}
+
+func TestVerilogRoundTripFunctional(t *testing.T) {
+	// Build f = AOI21(a, b, c) and check one input vector end to end.
+	n := New("fn", lib)
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	c := n.AddPI("c")
+	out := n.AddNet("f")
+	n.MustAddCell("g", lib.MustCell("AOI21_X1"), []NetID{a, b, c}, out)
+	n.AddPO("f", out)
+
+	var buf bytes.Buffer
+	if err := n.WriteVerilog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseVerilog(&buf, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pin order must be preserved through named connections: evaluate
+	// (a=1,b=1,c=0) -> AOI21 = !(a&b | c) = 0.
+	eval := func(nl *Netlist, ins map[string]bool) bool {
+		vals := make([]bool, nl.NumNets())
+		for _, pi := range nl.PIs {
+			vals[pi.Net] = ins[pi.Name]
+		}
+		order, err := nl.TopoCells()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range order {
+			cell := &nl.Cells[id]
+			var bits uint16
+			for pin, net := range cell.Ins {
+				if vals[net] {
+					bits |= 1 << uint(pin)
+				}
+			}
+			vals[cell.Out] = cell.Type.Eval(bits)
+		}
+		return vals[nl.POs[0].Net]
+	}
+	for _, tc := range []map[string]bool{
+		{"a": true, "b": true, "c": false},
+		{"a": false, "b": true, "c": false},
+		{"a": true, "b": false, "c": true},
+	} {
+		if eval(n, tc) != eval(back, tc) {
+			t.Fatalf("function changed for %v", tc)
+		}
+	}
+}
+
+func TestParseVerilogErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"module m (a); input a;", // missing endmodule
+		"module m (a); input a; BOGUS u0 (.A(a)); endmodule",                                           // unknown cell
+		"module m (a); input a; INV_X1 u0 (.Z(a)); endmodule",                                          // unknown pin
+		"module m (a, f); input a; output f; endmodule",                                                // undriven output
+		"module m (a); input a; input a; endmodule",                                                    // duplicate signal
+		"module m (a); @ endmodule",                                                                    // bad character
+		"module m (a); input a; wire w; INV_X1 u0 (.A(a), .Y(w)); INV_X1 u1 (.A(a), .Y(w)); endmodule", // double driver
+	}
+	for i, src := range cases {
+		if _, err := ParseVerilog(strings.NewReader(src), lib); err == nil {
+			t.Errorf("case %d accepted:\n%s", i, src)
+		}
+	}
+}
+
+func TestParseVerilogComments(t *testing.T) {
+	src := `
+// line comment
+module m (a, f); /* block
+comment */ input a; output f;
+wire w;
+INV_X1 u0 (.A(a), .Y(w)); // another
+assign f = w;
+endmodule`
+	nl, err := ParseVerilog(strings.NewReader(src), lib)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if nl.NumCells() != 1 || len(nl.POs) != 1 {
+		t.Fatalf("parsed shape wrong: %v", nl.Stats())
+	}
+}
+
+func TestSanitizeID(t *testing.T) {
+	cases := map[string]string{
+		"abc":   "abc",
+		"a[3]":  "a_3_",
+		"3x":    "_3x",
+		"a.b-c": "a_b_c",
+		"":      "",
+		"_ok_9": "_ok_9",
+	}
+	for in, want := range cases {
+		if got := sanitizeID(in); got != want {
+			t.Errorf("sanitizeID(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestVerilogMappedDesign(t *testing.T) {
+	// A mapped benchmark must round-trip through Verilog.
+	n := buildSmall(t)
+	var buf bytes.Buffer
+	if err := n.WriteVerilog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseVerilog(&buf, lib); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,144 @@
+package perf
+
+// Cache is a set-associative cache with true-LRU replacement, simulated
+// at line granularity. It is deliberately simple — no prefetching, no
+// write-allocate distinction — because the paper's characterization
+// relies on miss-rate differences between algorithms, which first-order
+// capacity and conflict behaviour already exposes.
+type Cache struct {
+	lineShift uint
+	setMask   uint64
+	ways      int
+	// tags[set*ways+way]; lru[set*ways+way] holds recency ranks where
+	// 0 is most recent.
+	tags  []uint64
+	valid []bool
+	lru   []uint8
+
+	accesses uint64
+	misses   uint64
+}
+
+// NewCache builds a cache of (at most) sizeBytes with the given
+// associativity and line size. The set count is rounded down to the
+// nearest power of two so that indexing stays a mask; VM LLC slices
+// (2 MiB x vCPUs for 1..8 vCPUs) therefore map to the closest
+// realizable geometry. NewCache panics on non-positive geometry, a
+// non-power-of-two line size, or fewer than ways*lineBytes bytes.
+func NewCache(sizeBytes, ways, lineBytes int) *Cache {
+	if sizeBytes <= 0 || ways <= 0 || lineBytes <= 0 {
+		panic("perf: non-positive cache geometry")
+	}
+	if ways > 255 {
+		panic("perf: associativity too large")
+	}
+	sets := sizeBytes / lineBytes / ways
+	if sets == 0 {
+		panic("perf: cache smaller than one set")
+	}
+	for sets&(sets-1) != 0 {
+		sets &= sets - 1 // drop lowest set bit until a power of two remains
+	}
+	lines := sets * ways
+	var shift uint
+	for 1<<shift < lineBytes {
+		shift++
+	}
+	if 1<<shift != lineBytes {
+		panic("perf: line size must be a power of two")
+	}
+	c := &Cache{
+		lineShift: shift,
+		setMask:   uint64(sets - 1),
+		ways:      ways,
+		tags:      make([]uint64, lines),
+		valid:     make([]bool, lines),
+		lru:       make([]uint8, lines),
+	}
+	return c
+}
+
+// Access simulates a reference to addr and reports whether it hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.accesses++
+	line := addr >> c.lineShift
+	set := int(line & c.setMask)
+	base := set * c.ways
+
+	hitWay := -1
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == line {
+			hitWay = w
+			break
+		}
+	}
+	if hitWay >= 0 {
+		c.touchHit(base, hitWay)
+		return true
+	}
+	c.misses++
+	// Choose the LRU victim (highest rank) or an invalid way.
+	victim := 0
+	var worst uint8
+	for w := 0; w < c.ways; w++ {
+		if !c.valid[base+w] {
+			victim = w
+			break
+		}
+		if c.lru[base+w] >= worst {
+			worst = c.lru[base+w]
+			victim = w
+		}
+	}
+	c.tags[base+victim] = line
+	c.valid[base+victim] = true
+	c.touchInsert(base, victim)
+	return false
+}
+
+// touchHit promotes a resident way to most-recently-used: every way
+// that was more recent slides back one rank.
+func (c *Cache) touchHit(base, way int) {
+	old := c.lru[base+way]
+	for w := 0; w < c.ways; w++ {
+		if c.lru[base+w] < old {
+			c.lru[base+w]++
+		}
+	}
+	c.lru[base+way] = 0
+}
+
+// touchInsert installs a new line as most-recently-used: all other ways
+// age by one rank (saturating), which keeps ranks a permutation once
+// the set fills.
+func (c *Cache) touchInsert(base, way int) {
+	maxRank := uint8(c.ways - 1)
+	for w := 0; w < c.ways; w++ {
+		if w != way && c.lru[base+w] < maxRank {
+			c.lru[base+w]++
+		}
+	}
+	c.lru[base+way] = 0
+}
+
+// Stats returns accesses and misses since construction.
+func (c *Cache) Stats() (accesses, misses uint64) { return c.accesses, c.misses }
+
+// MissRate returns the miss ratio in [0,1], or 0 before any access.
+func (c *Cache) MissRate() float64 {
+	if c.accesses == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(c.accesses)
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.lru[i] = 0
+		c.tags[i] = 0
+	}
+	c.accesses = 0
+	c.misses = 0
+}

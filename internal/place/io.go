@@ -1,0 +1,165 @@
+package place
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"edacloud/internal/netlist"
+)
+
+// WritePlacement serializes cell and pad locations in a DEF-like text
+// format (one COMPONENT line per cell with its placed coordinates, one
+// PIN line per pad), sufficient for handing the placement to the
+// router or an external viewer.
+func WritePlacement(w io.Writer, nl *netlist.Netlist, p *Placement) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "DESIGN %s\n", nl.Name)
+	fmt.Fprintf(bw, "DIEAREA %g %g\n", p.DieW, p.DieH)
+	fmt.Fprintf(bw, "ROWHEIGHT %g\n", p.RowHeight)
+	fmt.Fprintf(bw, "COMPONENTS %d\n", nl.NumCells())
+	for i := range nl.Cells {
+		fmt.Fprintf(bw, "  %s %s %g %g\n", nl.Cells[i].Name, nl.Cells[i].Type.Name, p.X[i], p.Y[i])
+	}
+	fmt.Fprintf(bw, "PINS %d\n", len(nl.PIs)+len(nl.POs))
+	for i, pi := range nl.PIs {
+		fmt.Fprintf(bw, "  %s INPUT %g %g\n", pi.Name, p.PIx[i], p.PIy[i])
+	}
+	for i, po := range nl.POs {
+		fmt.Fprintf(bw, "  %s OUTPUT %g %g\n", po.Name, p.POx[i], p.POy[i])
+	}
+	fmt.Fprintf(bw, "END\n")
+	return bw.Flush()
+}
+
+// ReadPlacement parses the format written by WritePlacement back into
+// a Placement aligned with the given netlist (components are matched
+// by position, with name and cell-type cross-checks).
+func ReadPlacement(r io.Reader, nl *netlist.Netlist) (*Placement, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	p := &Placement{
+		X: make([]float64, nl.NumCells()), Y: make([]float64, nl.NumCells()),
+		PIx: make([]float64, len(nl.PIs)), PIy: make([]float64, len(nl.PIs)),
+		POx: make([]float64, len(nl.POs)), POy: make([]float64, len(nl.POs)),
+	}
+	line := 0
+	nextFields := func() ([]string, error) {
+		for sc.Scan() {
+			line++
+			f := strings.Fields(sc.Text())
+			if len(f) > 0 {
+				return f, nil
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, io.ErrUnexpectedEOF
+	}
+	num := func(s string) (float64, error) {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return 0, fmt.Errorf("place: line %d: bad number %q", line, s)
+		}
+		return v, nil
+	}
+
+	f, err := nextFields()
+	if err != nil || f[0] != "DESIGN" {
+		return nil, fmt.Errorf("place: missing DESIGN header")
+	}
+	if len(f) > 1 && f[1] != nl.Name && nl.Name != "" {
+		return nil, fmt.Errorf("place: placement is for design %q, netlist is %q", f[1], nl.Name)
+	}
+	if f, err = nextFields(); err != nil || f[0] != "DIEAREA" || len(f) != 3 {
+		return nil, fmt.Errorf("place: missing DIEAREA")
+	}
+	if p.DieW, err = num(f[1]); err != nil {
+		return nil, err
+	}
+	if p.DieH, err = num(f[2]); err != nil {
+		return nil, err
+	}
+	if f, err = nextFields(); err != nil || f[0] != "ROWHEIGHT" || len(f) != 2 {
+		return nil, fmt.Errorf("place: missing ROWHEIGHT")
+	}
+	if p.RowHeight, err = num(f[1]); err != nil {
+		return nil, err
+	}
+
+	if f, err = nextFields(); err != nil || f[0] != "COMPONENTS" || len(f) != 2 {
+		return nil, fmt.Errorf("place: missing COMPONENTS")
+	}
+	nComp, err := strconv.Atoi(f[1])
+	if err != nil || nComp != nl.NumCells() {
+		return nil, fmt.Errorf("place: component count %q does not match netlist (%d cells)", f[1], nl.NumCells())
+	}
+	for i := 0; i < nComp; i++ {
+		if f, err = nextFields(); err != nil {
+			return nil, err
+		}
+		if len(f) != 4 {
+			return nil, fmt.Errorf("place: line %d: bad component line", line)
+		}
+		c := &nl.Cells[i]
+		if f[0] != c.Name || f[1] != c.Type.Name {
+			return nil, fmt.Errorf("place: line %d: component %s/%s does not match netlist cell %s/%s",
+				line, f[0], f[1], c.Name, c.Type.Name)
+		}
+		if p.X[i], err = num(f[2]); err != nil {
+			return nil, err
+		}
+		if p.Y[i], err = num(f[3]); err != nil {
+			return nil, err
+		}
+	}
+
+	if f, err = nextFields(); err != nil || f[0] != "PINS" || len(f) != 2 {
+		return nil, fmt.Errorf("place: missing PINS")
+	}
+	nPins, err := strconv.Atoi(f[1])
+	if err != nil || nPins != len(nl.PIs)+len(nl.POs) {
+		return nil, fmt.Errorf("place: pin count mismatch")
+	}
+	piIdx, poIdx := 0, 0
+	for i := 0; i < nPins; i++ {
+		if f, err = nextFields(); err != nil {
+			return nil, err
+		}
+		if len(f) != 4 {
+			return nil, fmt.Errorf("place: line %d: bad pin line", line)
+		}
+		x, err := num(f[2])
+		if err != nil {
+			return nil, err
+		}
+		y, err := num(f[3])
+		if err != nil {
+			return nil, err
+		}
+		switch f[1] {
+		case "INPUT":
+			if piIdx >= len(nl.PIs) || f[0] != nl.PIs[piIdx].Name {
+				return nil, fmt.Errorf("place: line %d: unexpected input pin %s", line, f[0])
+			}
+			p.PIx[piIdx], p.PIy[piIdx] = x, y
+			piIdx++
+		case "OUTPUT":
+			if poIdx >= len(nl.POs) || f[0] != nl.POs[poIdx].Name {
+				return nil, fmt.Errorf("place: line %d: unexpected output pin %s", line, f[0])
+			}
+			p.POx[poIdx], p.POy[poIdx] = x, y
+			poIdx++
+		default:
+			return nil, fmt.Errorf("place: line %d: bad pin direction %q", line, f[1])
+		}
+	}
+	if f, err = nextFields(); err != nil || f[0] != "END" {
+		return nil, fmt.Errorf("place: missing END")
+	}
+	p.HPWL = HPWL(nl, p, nil)
+	return p, nil
+}

@@ -1,0 +1,98 @@
+package place
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPlacementRoundTrip(t *testing.T) {
+	nl := mappedBench(t, "int2float", 0.25)
+	p, _, err := Place(nl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WritePlacement(&buf, nl, p); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	back, err := ReadPlacement(&buf, nl)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if back.DieW != p.DieW || back.DieH != p.DieH || back.RowHeight != p.RowHeight {
+		t.Fatalf("geometry changed: %+v vs %+v", back, p)
+	}
+	for i := range p.X {
+		if back.X[i] != p.X[i] || back.Y[i] != p.Y[i] {
+			t.Fatalf("cell %d moved: (%g,%g) vs (%g,%g)", i, back.X[i], back.Y[i], p.X[i], p.Y[i])
+		}
+	}
+	for i := range p.PIx {
+		if back.PIx[i] != p.PIx[i] || back.PIy[i] != p.PIy[i] {
+			t.Fatalf("PI pad %d moved", i)
+		}
+	}
+	// HPWL recomputed on read must match the original placement's final
+	// wirelength.
+	if diff := back.HPWL - p.HPWL; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("HPWL %g vs %g", back.HPWL, p.HPWL)
+	}
+}
+
+func TestReadPlacementRejectsCorruption(t *testing.T) {
+	nl := mappedBench(t, "priority", 0.1)
+	p, _, err := Place(nl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WritePlacement(&buf, nl, p); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+
+	corruptions := []func(string) string{
+		func(s string) string { return "" },
+		func(s string) string { return strings.Replace(s, "DESIGN", "DESING", 1) },
+		func(s string) string { return strings.Replace(s, "DIEAREA", "DIEAREA x", 1) },
+		func(s string) string { return strings.Replace(s, "COMPONENTS", "COMPONENTS 999\nX", 1) },
+		func(s string) string { return strings.Replace(s, "END\n", "", 1) },
+		func(s string) string { // swap a component name
+			return strings.Replace(s, "u0 ", "uX ", 1)
+		},
+		func(s string) string { // break a coordinate
+			lines := strings.Split(s, "\n")
+			for i, l := range lines {
+				if strings.HasPrefix(strings.TrimSpace(l), "u0 ") {
+					f := strings.Fields(l)
+					f[2] = "zzz"
+					lines[i] = "  " + strings.Join(f, " ")
+					break
+				}
+			}
+			return strings.Join(lines, "\n")
+		},
+	}
+	for i, corrupt := range corruptions {
+		if _, err := ReadPlacement(strings.NewReader(corrupt(good)), nl); err == nil {
+			t.Errorf("corruption %d accepted", i)
+		}
+	}
+}
+
+func TestReadPlacementWrongDesign(t *testing.T) {
+	nl := mappedBench(t, "priority", 0.1)
+	p, _, err := Place(nl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WritePlacement(&buf, nl, p); err != nil {
+		t.Fatal(err)
+	}
+	other := mappedBench(t, "dec", 0.3)
+	if _, err := ReadPlacement(&buf, other); err == nil {
+		t.Fatal("placement accepted for a different netlist")
+	}
+}

@@ -1,0 +1,49 @@
+package sta
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"edacloud/internal/netlist"
+)
+
+// WriteReport emits a human-readable timing report in the style of
+// sign-off tools: a summary block (WNS/TNS/endpoint count), the
+// critical path with per-stage arrivals and increments, and a slack
+// histogram over endpoints.
+func (r *Result) WriteReport(w io.Writer, nl *netlist.Netlist, clockPeriodNs float64) error {
+	bw := bufio.NewWriter(w)
+
+	fmt.Fprintf(bw, "Timing report for %s\n", nl.Name)
+	fmt.Fprintf(bw, "================================================\n")
+	fmt.Fprintf(bw, "clock period : %8.3f ns\n", clockPeriodNs)
+	fmt.Fprintf(bw, "endpoints    : %8d\n", r.Endpoints)
+	fmt.Fprintf(bw, "max arrival  : %8.3f ns\n", r.MaxArrival)
+	fmt.Fprintf(bw, "WNS          : %8.3f ns", r.WNS)
+	if r.WNS < 0 {
+		fmt.Fprintf(bw, "  (VIOLATED)")
+	}
+	fmt.Fprintf(bw, "\nTNS          : %8.3f ns\n\n", r.TNS)
+
+	fmt.Fprintf(bw, "Critical path (%d stages):\n", len(r.CriticalPath))
+	prev := 0.0
+	for i, step := range r.CriticalPath {
+		c := &nl.Cells[step.Cell]
+		fmt.Fprintf(bw, "  %3d  %-16s %-10s arrival %8.4f ns  +%7.4f\n",
+			i, c.Name, c.Type.Name, step.Arrival, step.Arrival-prev)
+		prev = step.Arrival
+	}
+	if len(r.CriticalPath) == 0 {
+		fmt.Fprintf(bw, "  (no combinational path)\n")
+	}
+
+	fmt.Fprintf(bw, "\nLogic-level histogram (cells per level):\n")
+	for lvl, width := range r.LevelWidths {
+		if width == 0 {
+			continue
+		}
+		fmt.Fprintf(bw, "  level %3d: %5d\n", lvl, width)
+	}
+	return bw.Flush()
+}

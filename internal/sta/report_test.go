@@ -1,0 +1,69 @@
+package sta
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteReport(t *testing.T) {
+	nl := mapped(t, "adder", 0.125, false)
+	res, _, err := Analyze(nl, nil, Options{ClockPeriodNs: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteReport(&buf, nl, 1.0); err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Timing report for adder",
+		"clock period",
+		"WNS",
+		"Critical path",
+		"Logic-level histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Each critical-path stage appears with its cell type.
+	if len(res.CriticalPath) > 0 {
+		cell := nl.Cells[res.CriticalPath[0].Cell]
+		if !strings.Contains(out, cell.Type.Name) {
+			t.Errorf("report missing critical-path cell type %s", cell.Type.Name)
+		}
+	}
+}
+
+func TestWriteReportViolated(t *testing.T) {
+	nl := mapped(t, "adder", 0.25, false)
+	res, _, err := Analyze(nl, nil, Options{ClockPeriodNs: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteReport(&buf, nl, 0.001); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "VIOLATED") {
+		t.Fatal("violated timing not flagged in report")
+	}
+}
+
+func TestWriteReportEmptyDesign(t *testing.T) {
+	nl := mapped(t, "priority", 0.0625, false)
+	res, _, err := Analyze(nl, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.CriticalPath = nil // simulate a pathless result
+	var buf bytes.Buffer
+	if err := res.WriteReport(&buf, nl, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no combinational path") {
+		t.Fatal("empty path not reported")
+	}
+}

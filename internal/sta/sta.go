@@ -1,0 +1,405 @@
+// Package sta is the static timing analysis engine: a forward
+// levelized propagation of arrival times and slews through NLDM table
+// lookups, a backward pass for required times, and slack/critical-path
+// extraction.
+//
+// STA's characterization signature in the paper is moderate
+// floating-point (AVX) usage from the library-table interpolations
+// (Fig. 2c, second to placement), friendly cache behaviour from its
+// topologically ordered sweeps, and mediocre multi-core scaling —
+// parallelism exists only within a level of the timing graph.
+package sta
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"edacloud/internal/netlist"
+	"edacloud/internal/perf"
+	"edacloud/internal/place"
+)
+
+// Options configures Analyze.
+type Options struct {
+	// ClockPeriodNs is the timing constraint; 0 means 1.0 ns.
+	ClockPeriodNs float64
+	// InputSlewNs is the slew at primary inputs; 0 means 0.01.
+	InputSlewNs float64
+	// WireCapPerUm adds placement-aware net capacitance; used only when
+	// a placement is supplied. 0 means 0.0002 pF/um.
+	WireCapPerUm float64
+	// HoldTimeNs is the register hold requirement checked against
+	// minimum-delay paths; 0 means 0.005 ns (comfortably under one
+	// gate delay, as 14nm-class hold times are).
+	HoldTimeNs float64
+	// Probe receives performance events; nil runs uninstrumented.
+	Probe *perf.Probe
+}
+
+func (o Options) withDefaults() Options {
+	if o.ClockPeriodNs == 0 {
+		o.ClockPeriodNs = 1.0
+	}
+	if o.InputSlewNs == 0 {
+		o.InputSlewNs = 0.01
+	}
+	if o.WireCapPerUm == 0 {
+		o.WireCapPerUm = 0.0002
+	}
+	if o.HoldTimeNs == 0 {
+		o.HoldTimeNs = 0.005
+	}
+	return o
+}
+
+// PathStep is one cell hop on a timing path.
+type PathStep struct {
+	Cell    netlist.CellID
+	Arrival float64
+}
+
+// Result holds the timing report.
+type Result struct {
+	// WNS is the worst negative slack (positive when timing is met).
+	WNS float64
+	// TNS is the total negative slack over violating endpoints.
+	TNS float64
+	// MaxArrival is the latest arrival time at any endpoint.
+	MaxArrival float64
+	// WHS is the worst hold slack over register endpoints (positive
+	// when hold is met); +Inf when the design has no registers.
+	WHS float64
+	// HoldViolations counts register endpoints failing hold.
+	HoldViolations int
+	// CriticalPath lists the cells on the worst path, launch to capture.
+	CriticalPath []PathStep
+	// Endpoints is the number of timing endpoints (POs and DFF D pins).
+	Endpoints int
+	// LevelWidths histograms cells per level (drives the parallelism
+	// profile: wider levels parallelize better).
+	LevelWidths []int
+}
+
+// Hot-window probe regions: STA sweeps the timing graph in level
+// order and repeatedly consults a small set of library tables — a
+// bounded working set, hence the low cache-miss rates of Fig. 2b.
+const (
+	rgArrival = 0 // per-net arrival/slew records
+	rgNetLoad = 1 // per-net electrical loads
+	rgTable   = 2 // NLDM table pages
+)
+
+// Branch sites.
+const (
+	brMaxUpdate = uint64(0x31)
+	brViolation = uint64(0x32)
+)
+
+// Analyze runs static timing on the netlist. pl may be nil for
+// pre-placement (zero-wire-load) timing. The report carries two phases:
+// the forward arrival propagation and the backward required/slack pass.
+func Analyze(nl *netlist.Netlist, pl *place.Placement, opts Options) (*Result, *perf.Report, error) {
+	opts = opts.withDefaults()
+	probe := opts.Probe
+	report := &perf.Report{Job: "sta"}
+
+	order, err := nl.TopoCells()
+	if err != nil {
+		return nil, nil, fmt.Errorf("sta: %w", err)
+	}
+	levels, err := nl.Levels()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Per-net electrical load: pin caps plus optional wire estimate.
+	load := make([]float64, nl.NumNets())
+	for id := range nl.Nets {
+		net := &nl.Nets[id]
+		var c float64
+		for _, s := range net.Sinks {
+			c += nl.Cells[s.Cell].Type.InputCap(int(s.Pin))
+			probe.LoadHot(rgNetLoad, uint64(s.Cell))
+			probe.LoopBranches(2)
+		}
+		c += float64(len(net.POs)) * 0.002 // output pad load
+		load[id] = c
+	}
+	if pl != nil {
+		addWireLoads(nl, pl, load, opts.WireCapPerUm, probe)
+	}
+
+	// Forward pass: arrival (max-delay) and earliest arrival
+	// (min-delay, for hold) plus slew per net.
+	arrival := make([]float64, nl.NumNets())
+	minArrival := make([]float64, nl.NumNets())
+	slew := make([]float64, nl.NumNets())
+	for i := range slew {
+		slew[i] = opts.InputSlewNs
+	}
+	// fromCell[net] = driving cell on the critical (max-arrival) fanin.
+	fromPin := make([]int32, nl.NumNets())
+	for i := range fromPin {
+		fromPin[i] = -1
+	}
+
+	lookup := func(t *perfTable, s, l float64) float64 {
+		probe.LoadHot(rgTable, uint64(t.id)*16)
+		probe.FPVector(8) // bilinear interpolation: vectorizable FMA work
+		return t.tab.Lookup(s, l)
+	}
+
+	tables := newTableCache()
+	for _, id := range order {
+		c := &nl.Cells[id]
+		if c.Out == netlist.NoNet {
+			continue
+		}
+		probe.LoadHot(rgArrival, uint64(id))
+		// Graph traversal, pin iteration and max-reduction bookkeeping.
+		probe.Ops(45)
+		probe.LoopBranches(20)
+		outLoad := load[c.Out]
+		var bestArr, bestSlew float64
+		bestPin := int32(-1)
+		minArr := math.Inf(1)
+		if c.Type.Seq {
+			// Launch from the clock edge through the CK->Q arc.
+			arc := c.Type.Arcs[0]
+			bestArr = lookup(tables.get(&arc.Delay), opts.InputSlewNs, outLoad)
+			bestSlew = lookup(tables.get(&arc.Slew), opts.InputSlewNs, outLoad)
+			bestPin = 1
+			minArr = bestArr
+		} else {
+			for pin, netID := range c.Ins {
+				if netID == netlist.NoNet {
+					continue
+				}
+				arc := c.Type.ArcFrom(c.Type.Inputs[pin].Name)
+				if arc == nil {
+					continue
+				}
+				inArr := arrival[netID]
+				inSlew := slew[netID]
+				d := lookup(tables.get(&arc.Delay), inSlew, outLoad)
+				cand := inArr + d
+				better := cand > bestArr || bestPin < 0
+				probe.Branch(brMaxUpdate, better)
+				if better {
+					bestArr = cand
+					bestSlew = lookup(tables.get(&arc.Slew), inSlew, outLoad)
+					bestPin = int32(pin)
+				}
+				if early := minArrival[netID] + d; early < minArr {
+					minArr = early
+				}
+			}
+		}
+		if math.IsInf(minArr, 1) {
+			minArr = 0
+		}
+		minArrival[c.Out] = minArr
+		arrival[c.Out] = bestArr
+		slew[c.Out] = bestSlew
+		fromPin[c.Out] = bestPin
+		probe.StoreHot(rgArrival, uint64(c.Out))
+	}
+	report.AddPhase(probe.TakePhase("arrival", staParallelFraction(levels), maxLevelWidth(levels)))
+
+	// Backward pass: endpoint slacks. Endpoints are POs and DFF D pins.
+	res := &Result{WNS: math.Inf(1)}
+	type endpoint struct {
+		net  netlist.NetID
+		name string
+	}
+	var endpoints []endpoint
+	for _, po := range nl.POs {
+		endpoints = append(endpoints, endpoint{po.Net, "po:" + po.Name})
+	}
+	for id := range nl.Cells {
+		c := &nl.Cells[id]
+		if c.Type.Seq && len(c.Ins) > 0 && c.Ins[0] != netlist.NoNet {
+			endpoints = append(endpoints, endpoint{c.Ins[0], "dff:" + c.Name})
+		}
+	}
+	res.Endpoints = len(endpoints)
+
+	res.WHS = math.Inf(1)
+	worstNet := netlist.NoNet
+	for _, ep := range endpoints {
+		probe.LoadHot(rgArrival, uint64(ep.net))
+		probe.LoopBranches(4)
+		arr := arrival[ep.net]
+		slack := opts.ClockPeriodNs - arr
+		violated := slack < 0
+		probe.Branch(brViolation, violated)
+		if violated {
+			res.TNS += slack
+		}
+		if slack < res.WNS {
+			res.WNS = slack
+			worstNet = ep.net
+		}
+		if arr > res.MaxArrival {
+			res.MaxArrival = arr
+		}
+		// Hold: only register endpoints race the same clock edge.
+		if strings.HasPrefix(ep.name, "dff:") {
+			hold := minArrival[ep.net] - opts.HoldTimeNs
+			if hold < res.WHS {
+				res.WHS = hold
+			}
+			if hold < 0 {
+				res.HoldViolations++
+			}
+			probe.FPScalar(2)
+		}
+		probe.FPScalar(2)
+	}
+	if len(endpoints) == 0 {
+		res.WNS = opts.ClockPeriodNs
+	}
+
+	// Critical path: walk the max-arrival fanins backward.
+	for net := worstNet; net != netlist.NoNet; {
+		d := nl.Nets[net].Driver
+		if d == netlist.NoCell {
+			break
+		}
+		res.CriticalPath = append(res.CriticalPath, PathStep{Cell: d, Arrival: arrival[net]})
+		probe.LoadHot(rgArrival, uint64(net))
+		c := &nl.Cells[d]
+		if c.Type.Seq {
+			break // launched from a register
+		}
+		pin := fromPin[net]
+		if pin < 0 || int(pin) >= len(c.Ins) {
+			break
+		}
+		net = c.Ins[pin]
+	}
+	reverse(res.CriticalPath)
+
+	res.LevelWidths = levelWidths(levels)
+	report.AddPhase(probe.TakePhase("required-slack", 0.5, maxInt(len(endpoints)/16, 1)))
+	return res, report, nil
+}
+
+// addWireLoads adds HPWL-proportional wire capacitance per net.
+func addWireLoads(nl *netlist.Netlist, pl *place.Placement, load []float64, capPerUm float64, probe *perf.Probe) {
+	for id := range nl.Nets {
+		net := &nl.Nets[id]
+		minX, maxX := math.Inf(1), math.Inf(-1)
+		minY, maxY := math.Inf(1), math.Inf(-1)
+		touch := func(x, y float64) {
+			minX = math.Min(minX, x)
+			maxX = math.Max(maxX, x)
+			minY = math.Min(minY, y)
+			maxY = math.Max(maxY, y)
+		}
+		switch {
+		case net.Driver != netlist.NoCell:
+			touch(pl.X[net.Driver], pl.Y[net.Driver])
+		case net.DriverPI >= 0:
+			touch(pl.PIx[net.DriverPI], pl.PIy[net.DriverPI])
+		default:
+			continue
+		}
+		n := 0
+		for _, s := range net.Sinks {
+			touch(pl.X[s.Cell], pl.Y[s.Cell])
+			probe.LoadHot(rgNetLoad, uint64(s.Cell))
+			probe.LoopBranches(2)
+			n++
+		}
+		for _, po := range net.POs {
+			touch(pl.POx[po], pl.POy[po])
+			n++
+		}
+		if n > 0 {
+			load[id] += ((maxX - minX) + (maxY - minY)) * capPerUm
+			probe.FPVector(4)
+		}
+	}
+}
+
+// perfTable wraps a techlib table with a stable id for cache-address
+// synthesis.
+type perfTable struct {
+	id  int
+	tab interface{ Lookup(s, l float64) float64 }
+}
+
+type tableCache struct {
+	ids map[interface{}]int
+}
+
+func newTableCache() *tableCache { return &tableCache{ids: map[interface{}]int{}} }
+
+func (tc *tableCache) get(t interface{ Lookup(s, l float64) float64 }) *perfTable {
+	id, ok := tc.ids[t]
+	if !ok {
+		id = len(tc.ids)
+		tc.ids[t] = id
+	}
+	return &perfTable{id: id, tab: t}
+}
+
+// staParallelFraction estimates the level-parallel share of the
+// forward pass: wide timing graphs parallelize, deep narrow ones do
+// not.
+func staParallelFraction(levels []int32) float64 {
+	widths := levelWidths(levels)
+	if len(widths) == 0 {
+		return 0.3
+	}
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	avg := float64(total) / float64(len(widths))
+	// Map average width to a fraction in [0.35, 0.7].
+	f := 0.35 + 0.35*(avg/(avg+32))
+	return f
+}
+
+func levelWidths(levels []int32) []int {
+	var max int32 = -1
+	for _, l := range levels {
+		if l > max {
+			max = l
+		}
+	}
+	if max < 0 {
+		return nil
+	}
+	widths := make([]int, max+1)
+	for _, l := range levels {
+		widths[l]++
+	}
+	return widths
+}
+
+func maxLevelWidth(levels []int32) int {
+	best := 1
+	for _, w := range levelWidths(levels) {
+		if w > best {
+			best = w
+		}
+	}
+	return best
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func reverse(p []PathStep) {
+	for i, j := 0, len(p)-1; i < j; i, j = i+1, j-1 {
+		p[i], p[j] = p[j], p[i]
+	}
+}

@@ -1,0 +1,131 @@
+// Package synth is the logic-synthesis engine: AIG optimization passes
+// (tree balancing, cut-based rewriting, cone refactoring) and a
+// polarity-aware, cut-based technology mapper targeting a standard-cell
+// library. Together with the optimization recipes in recipes.go it
+// substitutes for the commercial synthesis tool in the paper's flow,
+// and its pass structure (iterative, globally serialized netlist
+// transformations) is what gives synthesis the poor multi-core scaling
+// the paper reports.
+package synth
+
+import (
+	"sort"
+
+	"edacloud/internal/aig"
+	"edacloud/internal/perf"
+)
+
+// Balance rebuilds every maximal AND-tree as a depth-balanced tree,
+// pairing the shallowest operands first (Huffman order). It preserves
+// function and typically reduces depth at equal or smaller size.
+func Balance(g *aig.Graph, probe *perf.Probe) *aig.Graph {
+	ng := aig.New(g.Name)
+	old2new := make([]aig.Lit, g.NumVars())
+	old2new[0] = aig.False
+	// Incrementally tracked levels of the new graph's variables.
+	lvl := make([]int32, 1, g.NumVars())
+	for i, v := range g.InputVars() {
+		old2new[v] = ng.AddInput(g.InputName(i))
+		lvl = append(lvl, 0)
+	}
+	// andL creates an AND keeping lvl in sync (strash hits reuse the
+	// recorded level of the existing node).
+	andL := func(a, b aig.Lit) aig.Lit {
+		l := ng.And(a, b)
+		if v := l.Var(); v == len(lvl) {
+			la, lb := lvl[a.Var()], lvl[b.Var()]
+			if lb > la {
+				la = lb
+			}
+			lvl = append(lvl, la+1)
+		}
+		return l
+	}
+	fanout := g.FanoutCounts()
+
+	// gather collects the leaves of the maximal AND-tree rooted at var
+	// v: the tree descends through uncomplemented, single-fanout AND
+	// children (the classical balancing scope).
+	var gather func(l aig.Lit, root bool, leaves *[]aig.Lit)
+	gather = func(l aig.Lit, root bool, leaves *[]aig.Lit) {
+		v := l.Var()
+		probe.LoadHot(rgNode, uint64(v))
+		probe.LoopBranches(3)
+		expand := g.IsAnd(v) && !l.IsNeg() && (root || fanout[v] == 1)
+		probe.Branch(brBalanceExpand, expand)
+		if !expand {
+			*leaves = append(*leaves, old2new[v].NotIf(l.IsNeg()))
+			return
+		}
+		f0, f1 := g.Fanins(v)
+		gather(f0, false, leaves)
+		gather(f1, false, leaves)
+	}
+
+	levelOf := func(l aig.Lit) int32 { return lvl[l.Var()] }
+
+	g.TopoAnds(func(v int, f0, f1 aig.Lit) {
+		var leaves []aig.Lit
+		gather(aig.MakeLit(v, false), true, &leaves)
+		old2new[v] = balancedAnd(andL, levelOf, leaves, probe)
+		probe.Ops(2)
+	})
+	for i, o := range g.Outputs() {
+		ng.AddOutput(old2new[o.Var()].NotIf(o.IsNeg()), g.OutputName(i))
+	}
+	swept, _ := ng.Sweep()
+	swept.Name = g.Name
+	return swept
+}
+
+// balancedAnd conjoins leaves pairing minimum-level operands first. The
+// and function must keep level bookkeeping in sync so levelOf is valid
+// for freshly created nodes.
+func balancedAnd(and func(a, b aig.Lit) aig.Lit, levelOf func(aig.Lit) int32, leaves []aig.Lit, probe *perf.Probe) aig.Lit {
+	switch len(leaves) {
+	case 0:
+		return aig.True
+	case 1:
+		return leaves[0]
+	}
+	sort.Slice(leaves, func(i, j int) bool { return levelOf(leaves[i]) < levelOf(leaves[j]) })
+	work := append([]aig.Lit(nil), leaves...)
+	for len(work) > 1 {
+		probe.Ops(4)
+		n := and(work[0], work[1])
+		work = work[1:]
+		work[0] = n
+		// Restore order by sinking the new node to its level position.
+		for i := 0; i+1 < len(work); i++ {
+			worse := levelOf(work[i]) > levelOf(work[i+1])
+			probe.Branch(brBalanceSink, worse)
+			if !worse {
+				break
+			}
+			work[i], work[i+1] = work[i+1], work[i]
+		}
+	}
+	return work[0]
+}
+
+// Hot-window probe regions. Synthesis works on a bounded active set —
+// the cone under transformation plus the hot end of the hash table —
+// which is what keeps its cache-miss rate low in the paper's Fig. 2b.
+const (
+	rgNode   = 0 // node records of the active window
+	rgStrash = 1 // structural-hash buckets
+	rgCut    = 2 // priority-cut storage
+)
+
+// Branch-site identifiers.
+const (
+	brBalanceExpand = uint64(0x01)
+	brBalanceSink   = uint64(0x02)
+	brRewriteGain   = uint64(0x03)
+	brRefactorGain  = uint64(0x04)
+	brMapChoice     = uint64(0x05)
+	brCutMerge      = uint64(0x06)
+)
+
+// strashIdx spreads a fanin-pair key over hash buckets.
+func strashIdx(key uint64) uint64 { return key * 0x9E3779B97F4A7C15 >> 20 }

@@ -1,0 +1,162 @@
+package synth
+
+import (
+	"sort"
+
+	"edacloud/internal/aig"
+	"edacloud/internal/perf"
+)
+
+// Cut is a k-feasible cut of an AIG node: a set of leaf variables such
+// that every path from the node to the inputs crosses a leaf.
+type Cut struct {
+	Leaves []int32 // sorted variable indices
+}
+
+// cutEnum enumerates priority cuts: every node keeps at most maxCuts
+// cuts of at most k leaves, built by merging fanin cuts, preferring
+// fewer leaves. The trivial cut {v} is always included (last).
+type cutEnum struct {
+	g       *aig.Graph
+	k       int
+	maxCuts int
+	probe   *perf.Probe
+	cuts    [][]Cut
+}
+
+func newCutEnum(g *aig.Graph, k, maxCuts int, probe *perf.Probe) *cutEnum {
+	ce := &cutEnum{g: g, k: k, maxCuts: maxCuts, probe: probe, cuts: make([][]Cut, g.NumVars())}
+	ce.run()
+	return ce
+}
+
+// Cuts returns the cut list of variable v.
+func (ce *cutEnum) Cuts(v int) []Cut { return ce.cuts[v] }
+
+func (ce *cutEnum) run() {
+	g := ce.g
+	// Constant node and inputs have only the trivial cut.
+	ce.cuts[0] = []Cut{{Leaves: []int32{0}}}
+	for _, v := range g.InputVars() {
+		ce.cuts[v] = []Cut{{Leaves: []int32{int32(v)}}}
+	}
+	g.TopoAnds(func(v int, f0, f1 aig.Lit) {
+		ce.probe.LoadHot(rgCut, uint64(v))
+		c0 := ce.cuts[f0.Var()]
+		c1 := ce.cuts[f1.Var()]
+		var merged []Cut
+		for _, a := range c0 {
+			for _, b := range c1 {
+				leaves, ok := mergeLeaves(a.Leaves, b.Leaves, ce.k)
+				ce.probe.Branch(brCutMerge, ok)
+				// Leaf-set union, dedup hashing and cut-list bookkeeping
+				// dominate enumeration cost.
+				ce.probe.Ops(240)
+				ce.probe.LoopBranches(6)
+				ce.probe.LoadHot(rgCut, uint64(f0.Var()))
+				if !ok {
+					continue
+				}
+				merged = append(merged, Cut{Leaves: leaves})
+			}
+		}
+		merged = dedupCuts(merged)
+		sort.SliceStable(merged, func(i, j int) bool {
+			return len(merged[i].Leaves) < len(merged[j].Leaves)
+		})
+		if len(merged) > ce.maxCuts {
+			merged = merged[:ce.maxCuts]
+		}
+		// Trivial cut last so matching prefers structural cuts.
+		merged = append(merged, Cut{Leaves: []int32{int32(v)}})
+		ce.cuts[v] = merged
+		ce.probe.Ops(len(c0)*len(c1) + 4)
+	})
+}
+
+// mergeLeaves unions two sorted leaf sets, failing when the union
+// exceeds k.
+func mergeLeaves(a, b []int32, k int) ([]int32, bool) {
+	out := make([]int32, 0, k)
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		var next int32
+		switch {
+		case i >= len(a):
+			next = b[j]
+			j++
+		case j >= len(b):
+			next = a[i]
+			i++
+		case a[i] < b[j]:
+			next = a[i]
+			i++
+		case a[i] > b[j]:
+			next = b[j]
+			j++
+		default:
+			next = a[i]
+			i++
+			j++
+		}
+		if len(out) == k {
+			return nil, false
+		}
+		out = append(out, next)
+	}
+	return out, true
+}
+
+func dedupCuts(cuts []Cut) []Cut {
+	seen := make(map[string]bool, len(cuts))
+	out := cuts[:0]
+	for _, c := range cuts {
+		key := leafKey(c.Leaves)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, c)
+	}
+	return out
+}
+
+func leafKey(leaves []int32) string {
+	b := make([]byte, 0, len(leaves)*4)
+	for _, l := range leaves {
+		b = append(b, byte(l), byte(l>>8), byte(l>>16), byte(l>>24))
+	}
+	return string(b)
+}
+
+// cutTT computes the truth table of variable root over the cut leaves
+// (leaf i is truth-table variable i). The cut must be valid: every
+// cone path from root terminates at a leaf.
+func cutTT(g *aig.Graph, root int, leaves []int32, probe *perf.Probe) uint64 {
+	n := len(leaves)
+	memo := map[int]uint64{0: 0} // constant-false node
+	for i, l := range leaves {
+		memo[int(l)] = ttVar(i, n)
+	}
+	var eval func(v int) uint64
+	eval = func(v int) uint64 {
+		if tt, ok := memo[v]; ok {
+			return tt
+		}
+		probe.LoadHot(rgNode, uint64(v))
+		probe.LoopBranches(2)
+		f0, f1 := g.Fanins(v)
+		t0 := eval(f0.Var())
+		if f0.IsNeg() {
+			t0 = ttNot(t0, n)
+		}
+		t1 := eval(f1.Var())
+		if f1.IsNeg() {
+			t1 = ttNot(t1, n)
+		}
+		tt := t0 & t1
+		memo[v] = tt
+		return tt
+	}
+	return eval(root)
+}

@@ -1,0 +1,152 @@
+package synth
+
+import (
+	"edacloud/internal/aig"
+	"edacloud/internal/perf"
+)
+
+// Rewrite performs cut-based resubstitution: every node's 4-feasible
+// cuts are evaluated as truth tables, an irredundant sum-of-products
+// implementation is rebuilt over the cut leaves in the output graph,
+// and the cheapest realization (measured in actually-added nodes,
+// strashing included) wins. Dead logic left behind by replaced
+// realizations is swept at the end.
+func Rewrite(g *aig.Graph, probe *perf.Probe) *aig.Graph {
+	return rebuildWithCuts(g, probe, 4, 6, 2, brRewriteGain)
+}
+
+// Refactor is Rewrite with one large cut per node (up to 6 leaves),
+// the classical coarse-grained companion pass: it collapses bigger
+// cones and resynthesizes them from their ISOP factorization.
+func Refactor(g *aig.Graph, probe *perf.Probe) *aig.Graph {
+	return rebuildWithCuts(g, probe, 6, 4, 1, brRefactorGain)
+}
+
+// rebuildWithCuts reconstructs g node by node, trying up to tryCuts
+// non-trivial cuts of size <= k per node and keeping the cheapest
+// realization.
+func rebuildWithCuts(g *aig.Graph, probe *perf.Probe, k, maxCuts, tryCuts int, brSite uint64) *aig.Graph {
+	ng := aig.New(g.Name)
+	old2new := make([]aig.Lit, g.NumVars())
+	old2new[0] = aig.False
+	for i, v := range g.InputVars() {
+		old2new[v] = ng.AddInput(g.InputName(i))
+	}
+	cuts := newCutEnum(g, k, maxCuts, probe)
+	// Fresh node records are compulsory misses, one cache line per four
+	// 16-byte records.
+	coldCredit := 0
+	coldNodes := func(n int) {
+		coldCredit += n
+		if coldCredit >= 4 {
+			probe.LoadCold(coldCredit / 4)
+			coldCredit %= 4
+		}
+	}
+
+	g.TopoAnds(func(v int, f0, f1 aig.Lit) {
+		probe.LoadHot(rgNode, uint64(v))
+		probe.LoadHot(rgStrash, strashIdx(uint64(f0)<<32|uint64(f1)))
+		probe.LoopBranches(8)
+
+		// Baseline: direct structural copy.
+		a := old2new[f0.Var()].NotIf(f0.IsNeg())
+		b := old2new[f1.Var()].NotIf(f1.IsNeg())
+		before := ng.NumVars()
+		best := ng.And(a, b)
+		bestCost := ng.NumVars() - before
+		coldNodes(bestCost)
+		if bestCost == 0 {
+			// Strash hit: nothing can beat a free node.
+			probe.Branch(brSite, false)
+			old2new[v] = best
+			return
+		}
+
+		tried := 0
+		for _, cut := range cuts.Cuts(v) {
+			if tried >= tryCuts {
+				break
+			}
+			n := len(cut.Leaves)
+			if n < 2 || n > k || (n == 1 && int(cut.Leaves[0]) == v) {
+				continue
+			}
+			// Skip cuts whose leaves include v itself (trivial cut).
+			self := false
+			for _, l := range cut.Leaves {
+				if int(l) == v {
+					self = true
+					break
+				}
+			}
+			if self {
+				continue
+			}
+			tried++
+			tt := cutTT(g, v, cut.Leaves, probe)
+			// ISOP extraction recurses over cofactors; its cost is the
+			// bulk of a resynthesis attempt.
+			probe.Ops(280)
+			cubes := isop(tt, 0, n)
+			// Realize over the new-graph leaf literals.
+			leafLits := make([]aig.Lit, n)
+			ok := true
+			for i, l := range cut.Leaves {
+				if old2new[l] == 0 && l != 0 {
+					// A leaf that was itself swept away (shouldn't
+					// happen in topo order, but stay safe).
+					ok = false
+					break
+				}
+				leafLits[i] = old2new[l]
+			}
+			if !ok {
+				continue
+			}
+			mark := ng.NumVars()
+			lit := buildCover(ng, cubes, leafLits, tt, n, probe)
+			cost := ng.NumVars() - mark
+			better := cost < bestCost
+			probe.Branch(brSite, better)
+			if better {
+				best = lit
+				bestCost = cost
+			}
+		}
+		old2new[v] = best
+	})
+	for i, o := range g.Outputs() {
+		ng.AddOutput(old2new[o.Var()].NotIf(o.IsNeg()), g.OutputName(i))
+	}
+	swept, _ := ng.Sweep()
+	swept.Name = g.Name
+	return swept
+}
+
+// buildCover realizes a cube cover over the given leaf literals,
+// returning the output literal. Constants and single-cube covers take
+// fast paths; multi-cube covers build balanced AND/OR trees.
+func buildCover(ng *aig.Graph, cubes []cube, leaves []aig.Lit, tt uint64, n int, probe *perf.Probe) aig.Lit {
+	if tt == 0 {
+		return aig.False
+	}
+	if tt == ttMask(n) {
+		return aig.True
+	}
+	terms := make([]aig.Lit, 0, len(cubes))
+	for _, c := range cubes {
+		lits := make([]aig.Lit, 0, n)
+		for i := 0; i < n; i++ {
+			if c.pos>>uint(i)&1 == 1 {
+				lits = append(lits, leaves[i])
+			}
+			if c.neg>>uint(i)&1 == 1 {
+				lits = append(lits, leaves[i].Not())
+			}
+		}
+		probe.Ops(len(lits))
+		terms = append(terms, ng.AndN(lits))
+	}
+	return ng.OrN(terms)
+}

@@ -1,0 +1,154 @@
+package synth
+
+import (
+	"fmt"
+
+	"edacloud/internal/aig"
+	"edacloud/internal/netlist"
+	"edacloud/internal/perf"
+	"edacloud/internal/techlib"
+)
+
+// PassKind identifies one AIG optimization pass.
+type PassKind int
+
+// The optimization passes.
+const (
+	PassBalance PassKind = iota
+	PassRewrite
+	PassRefactor
+)
+
+func (p PassKind) String() string {
+	switch p {
+	case PassBalance:
+		return "balance"
+	case PassRewrite:
+		return "rewrite"
+	case PassRefactor:
+		return "refactor"
+	}
+	return fmt.Sprintf("pass(%d)", int(p))
+}
+
+// Recipe is a named sequence of optimization passes. Different recipes
+// produce structurally different netlists of the same function, which
+// is how the paper's dataset pairs one design with many physical
+// structures (its Sec. IV: 18 benchmarks -> 330 unique netlists).
+type Recipe struct {
+	Name   string
+	Passes []PassKind
+}
+
+// StandardRecipes mirrors the usual ABC script families: from no
+// optimization through light and heavy effort.
+var StandardRecipes = []Recipe{
+	{"raw", nil},
+	{"b", []PassKind{PassBalance}},
+	{"rw", []PassKind{PassRewrite}},
+	{"rf", []PassKind{PassRefactor}},
+	{"resyn", []PassKind{PassBalance, PassRewrite, PassRewrite, PassBalance}},
+	{"resyn2", []PassKind{
+		PassBalance, PassRewrite, PassRefactor, PassBalance,
+		PassRewrite, PassRewrite, PassBalance,
+	}},
+	{"compress", []PassKind{PassBalance, PassRewrite, PassBalance, PassRefactor, PassBalance}},
+	{"deep", []PassKind{
+		PassBalance, PassRefactor, PassRewrite, PassBalance,
+		PassRefactor, PassRewrite, PassBalance,
+	}},
+}
+
+// RecipeByName returns the named standard recipe.
+func RecipeByName(name string) (Recipe, error) {
+	for _, r := range StandardRecipes {
+		if r.Name == name {
+			return r, nil
+		}
+	}
+	return Recipe{}, fmt.Errorf("synth: unknown recipe %q", name)
+}
+
+// runPass dispatches one optimization pass.
+func runPass(g *aig.Graph, p PassKind, probe *perf.Probe) (*aig.Graph, error) {
+	switch p {
+	case PassBalance:
+		return Balance(g, probe), nil
+	case PassRewrite:
+		return Rewrite(g, probe), nil
+	case PassRefactor:
+		return Refactor(g, probe), nil
+	}
+	return nil, fmt.Errorf("synth: unknown pass %v", p)
+}
+
+// Optimize applies a recipe to the AIG, recording one perf phase per
+// pass into report when probe and report are non-nil.
+func Optimize(g *aig.Graph, recipe Recipe, probe *perf.Probe, report *perf.Report) (*aig.Graph, error) {
+	cur := g
+	for _, p := range recipe.Passes {
+		next, err := runPass(cur, p, probe)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+		if report != nil {
+			// AIG passes parallelize over independent output cones but
+			// serialize on the shared hash table — modest fractions.
+			report.AddPhase(probe.TakePhase(p.String(), 0.52, outputChunks(cur)))
+		}
+	}
+	return cur, nil
+}
+
+// outputChunks estimates independent work units for cone-parallel
+// passes.
+func outputChunks(g *aig.Graph) int {
+	c := g.NumOutputs()
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// Options configures Synthesize.
+type Options struct {
+	// Recipe is the optimization script; zero value means "raw".
+	Recipe Recipe
+	// RegisterOutputs inserts a DFF behind every primary output.
+	RegisterOutputs bool
+	// Objective selects delay- (default) or area-oriented mapping.
+	Objective MapObjective
+	// Probe receives performance events; nil runs uninstrumented.
+	Probe *perf.Probe
+}
+
+// Result bundles the outputs of a synthesis run.
+type Result struct {
+	Netlist *netlist.Netlist
+	// Optimized is the post-recipe AIG that was mapped.
+	Optimized *aig.Graph
+	// Report profiles the run, one phase per pass plus mapping.
+	Report *perf.Report
+}
+
+// Synthesize optimizes the AIG with the given recipe and maps it to
+// the library, producing the netlist consumed by placement, routing
+// and STA.
+func Synthesize(g *aig.Graph, lib *techlib.Library, opts Options) (*Result, error) {
+	report := &perf.Report{Job: "synthesis"}
+	probe := opts.Probe
+
+	opt, err := Optimize(g, opts.Recipe, probe, report)
+	if err != nil {
+		return nil, err
+	}
+	nl, err := MapToCellsObjective(opt, lib, opts.RegisterOutputs, opts.Objective, probe)
+	if err != nil {
+		return nil, err
+	}
+	// Matching is per-node parallel, but the covering extraction and
+	// netlist construction serialize on shared structures.
+	report.AddPhase(probe.TakePhase("map", 0.60, opt.NumAnds()/64+1))
+	return &Result{Netlist: nl, Optimized: opt, Report: report}, nil
+}

@@ -1,0 +1,214 @@
+package techlib
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteLiberty serializes the library in a compact Liberty-like text
+// format. The format is a simplified dialect (one attribute per line,
+// explicit end markers) that round-trips through ParseLiberty; it is not
+// intended to be consumed by commercial tools.
+func (lib *Library) WriteLiberty(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "library %s\n", lib.Name)
+	fmt.Fprintf(bw, "  time_unit ns\n  cap_unit pF\n")
+	for _, c := range lib.Cells {
+		fmt.Fprintf(bw, "  cell %s\n", c.Name)
+		fmt.Fprintf(bw, "    area %g\n    leakage %g\n    max_cap %g\n", c.Area, c.Leakage, c.MaxCap)
+		if c.Seq {
+			fmt.Fprintf(bw, "    seq true\n")
+		}
+		fmt.Fprintf(bw, "    tt %d\n", c.TT)
+		for _, p := range c.Inputs {
+			fmt.Fprintf(bw, "    pin %s cap %g\n", p.Name, p.Cap)
+		}
+		fmt.Fprintf(bw, "    output %s\n", c.Output)
+		for _, a := range c.Arcs {
+			fmt.Fprintf(bw, "    arc %s\n", a.From)
+			writeTable(bw, "delay", &a.Delay)
+			writeTable(bw, "slew", &a.Slew)
+			fmt.Fprintf(bw, "    end_arc\n")
+		}
+		fmt.Fprintf(bw, "  end_cell\n")
+	}
+	fmt.Fprintf(bw, "end_library\n")
+	return bw.Flush()
+}
+
+func writeTable(w io.Writer, kind string, t *Table) {
+	fmt.Fprintf(w, "      %s_slews %s\n", kind, joinFloats(t.Slews))
+	fmt.Fprintf(w, "      %s_loads %s\n", kind, joinFloats(t.Loads))
+	for _, row := range t.Values {
+		fmt.Fprintf(w, "      %s_row %s\n", kind, joinFloats(row))
+	}
+}
+
+func joinFloats(fs []float64) string {
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		parts[i] = strconv.FormatFloat(f, 'g', -1, 64)
+	}
+	return strings.Join(parts, " ")
+}
+
+func parseFloats(fields []string) ([]float64, error) {
+	out := make([]float64, len(fields))
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("techlib: bad number %q", f)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// ParseLiberty reads the format produced by WriteLiberty and rebuilds
+// the library, including its function-matching index.
+func ParseLiberty(r io.Reader) (*Library, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+
+	var libName string
+	var cells []*Cell
+	var cur *Cell
+	var curArc *Arc
+
+	lineNo := 0
+	fail := func(msg string) error { return fmt.Errorf("techlib: line %d: %s", lineNo, msg) }
+
+	for sc.Scan() {
+		lineNo++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		key := fields[0]
+		args := fields[1:]
+		switch key {
+		case "library":
+			if len(args) != 1 {
+				return nil, fail("library needs a name")
+			}
+			libName = args[0]
+		case "time_unit", "cap_unit":
+			// Informational only in this dialect.
+		case "cell":
+			if len(args) != 1 {
+				return nil, fail("cell needs a name")
+			}
+			cur = &Cell{Name: args[0]}
+		case "end_cell":
+			if cur == nil {
+				return nil, fail("end_cell outside cell")
+			}
+			cells = append(cells, cur)
+			cur = nil
+		case "area", "leakage", "max_cap", "tt", "seq", "pin", "output", "arc", "end_arc",
+			"delay_slews", "delay_loads", "delay_row", "slew_slews", "slew_loads", "slew_row":
+			if cur == nil {
+				return nil, fail(key + " outside cell")
+			}
+			if err := parseCellAttr(cur, &curArc, key, args); err != nil {
+				return nil, fmt.Errorf("techlib: line %d: %w", lineNo, err)
+			}
+		case "end_library":
+			if cur != nil {
+				return nil, fail("end_library inside cell")
+			}
+			return NewLibrary(libName, cells), nil
+		default:
+			return nil, fail("unknown keyword " + key)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("techlib: missing end_library")
+}
+
+func parseCellAttr(cur *Cell, curArc **Arc, key string, args []string) error {
+	num := func() (float64, error) {
+		if len(args) != 1 {
+			return 0, fmt.Errorf("%s needs one value", key)
+		}
+		return strconv.ParseFloat(args[0], 64)
+	}
+	switch key {
+	case "area":
+		v, err := num()
+		if err != nil {
+			return err
+		}
+		cur.Area = v
+	case "leakage":
+		v, err := num()
+		if err != nil {
+			return err
+		}
+		cur.Leakage = v
+	case "max_cap":
+		v, err := num()
+		if err != nil {
+			return err
+		}
+		cur.MaxCap = v
+	case "tt":
+		v, err := num()
+		if err != nil {
+			return err
+		}
+		cur.TT = uint16(v)
+	case "seq":
+		cur.Seq = len(args) == 1 && args[0] == "true"
+	case "pin":
+		if len(args) != 3 || args[1] != "cap" {
+			return fmt.Errorf("pin wants: pin NAME cap VALUE")
+		}
+		c, err := strconv.ParseFloat(args[2], 64)
+		if err != nil {
+			return err
+		}
+		cur.Inputs = append(cur.Inputs, Pin{Name: args[0], Cap: c})
+	case "output":
+		if len(args) != 1 {
+			return fmt.Errorf("output needs a name")
+		}
+		cur.Output = args[0]
+	case "arc":
+		if len(args) != 1 {
+			return fmt.Errorf("arc needs a from-pin")
+		}
+		cur.Arcs = append(cur.Arcs, Arc{From: args[0]})
+		*curArc = &cur.Arcs[len(cur.Arcs)-1]
+	case "end_arc":
+		*curArc = nil
+	default:
+		if *curArc == nil {
+			return fmt.Errorf("%s outside arc", key)
+		}
+		vals, err := parseFloats(args)
+		if err != nil {
+			return err
+		}
+		var t *Table
+		if strings.HasPrefix(key, "delay_") {
+			t = &(*curArc).Delay
+		} else {
+			t = &(*curArc).Slew
+		}
+		switch {
+		case strings.HasSuffix(key, "_slews"):
+			t.Slews = vals
+		case strings.HasSuffix(key, "_loads"):
+			t.Loads = vals
+		case strings.HasSuffix(key, "_row"):
+			t.Values = append(t.Values, vals)
+		}
+	}
+	return nil
+}
