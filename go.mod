@@ -1,0 +1,3 @@
+module edacloud
+
+go 1.24

@@ -6,6 +6,8 @@ import (
 
 	"edacloud/internal/cloud"
 	"edacloud/internal/designs"
+	"edacloud/internal/ints"
+	"edacloud/internal/par"
 	"edacloud/internal/perf"
 	"edacloud/internal/place"
 	"edacloud/internal/route"
@@ -30,6 +32,12 @@ type CharacterizeOptions struct {
 	Background []cloud.CGroup
 	// Host is the physical machine; zero means the paper's 14-core Xeon.
 	Host cloud.Host
+	// Workers bounds both the fan-out of per-VM-config profiling runs
+	// across real cores — the paper's cloud-instance fan-out — and the
+	// worker pools inside each flow's kernels, so Workers: 1 is a true
+	// serial baseline; 0 means GOMAXPROCS. Results are identical for
+	// every value.
+	Workers int
 }
 
 func (o CharacterizeOptions) withDefaults() CharacterizeOptions {
@@ -104,7 +112,7 @@ func EstimateCells(ands int) int {
 // effort factor. Both only rescale absolute seconds; per-configuration
 // ratios, which every experiment's shape rests on, are untouched.
 func workScaleFor(targetInstances, cells int) float64 {
-	ratio := float64(targetInstances) / float64(maxInt(cells, 1))
+	ratio := float64(targetInstances) / float64(ints.Max(cells, 1))
 	if ratio < 1 {
 		ratio = 1
 	}
@@ -177,26 +185,44 @@ func CharacterizeEval(lib *techlib.Library, designName string, opts Characterize
 	baseSeconds := make([]float64, len(JobKinds()))
 	estCells := EstimateCells(g.NumAnds())
 
-	for _, vcpus := range opts.VCPUs {
-		probes := map[JobKind]*perf.Probe{}
-		flow, err := RunFlow(g, lib, FlowOptions{
+	// Fan the per-VM-config profiling runs out across real cores — the
+	// paper ran each configuration as its own cloud instance, and the
+	// runs share nothing: each profiles its own clone of the design
+	// (the AIG memoizes levels/fanouts lazily) with its own probes.
+	// All cross-config arithmetic (speedups vs the 1-vCPU base) happens
+	// after the barrier, in configuration order, so results are
+	// identical for any worker count.
+	type cfgRun struct {
+		flow         *FlowResult
+		interference float64
+		err          error
+	}
+	pool := par.Fixed(opts.Workers)
+	runs := par.Map(pool, len(opts.VCPUs), func(vi int) cfgRun {
+		vcpus := opts.VCPUs[vi]
+		flow, err := RunFlow(g.Clone(), lib, FlowOptions{
 			Recipe: opts.Recipe,
 			NewProbe: func(k JobKind) *perf.Probe {
-				p := NewJobProbe(vcpus, estCells)
-				probes[k] = p
-				return p
+				return NewJobProbe(vcpus, estCells)
 			},
+			Workers: opts.Workers,
 		})
 		if err != nil {
-			return nil, err
+			return cfgRun{err: err}
 		}
+		interference, err := opts.Host.Interference(float64(vcpus), opts.Background)
+		return cfgRun{flow: flow, interference: interference, err: err}
+	})
+
+	for vi, vcpus := range opts.VCPUs {
+		run := runs[vi]
+		if run.err != nil {
+			return nil, run.err
+		}
+		flow := run.flow
 		if out.Cells == 0 {
 			out.Cells = flow.Netlist.NumCells()
 			out.WorkScale = workScaleFor(spec.TargetInstances, out.Cells)
-		}
-		interference, err := opts.Host.Interference(float64(vcpus), opts.Background)
-		if err != nil {
-			return nil, err
 		}
 		workScale := out.WorkScale
 
@@ -204,7 +230,7 @@ func CharacterizeEval(lib *techlib.Library, designName string, opts Characterize
 		for _, k := range JobKinds() {
 			report := flow.Reports[k]
 			c := report.Total()
-			m := machineFor(vcpus, true, interference, workScale)
+			m := machineFor(vcpus, true, run.interference, workScale)
 			secs := m.Seconds(report)
 			p := JobProfile{
 				Kind:          k,
@@ -246,32 +272,39 @@ func RoutingSpeedupCurve(lib *techlib.Library, designName string, maxVCPUs int, 
 	if err != nil {
 		return nil, err
 	}
-	curve := make([]float64, maxVCPUs)
-	var base float64
+	// Each vCPU configuration re-profiles routing independently against
+	// the shared (read-only) netlist and placement, so the sweep fans
+	// out across real cores like the characterization runs do.
+	type curvePoint struct {
+		secs float64
+		err  error
+	}
 	estCells := sres.Netlist.NumCells()
-	for v := 1; v <= maxVCPUs; v++ {
+	pool := par.Fixed(opts.Workers)
+	points := par.Map(pool, maxVCPUs, func(vi int) curvePoint {
+		v := vi + 1
 		probe := NewJobProbe(v, estCells)
 		_, report, err := route.Route(sres.Netlist, pl, route.Options{Probe: probe})
 		if err != nil {
-			return nil, err
+			return curvePoint{err: err}
 		}
 		interference, err := opts.Host.Interference(float64(v), opts.Background)
 		if err != nil {
-			return nil, err
+			return curvePoint{err: err}
 		}
 		m := machineFor(v, true, interference, 1)
-		secs := m.Seconds(report)
-		if v == 1 {
-			base = secs
+		return curvePoint{secs: m.Seconds(report)}
+	})
+	curve := make([]float64, maxVCPUs)
+	var base float64
+	for vi, pt := range points {
+		if pt.err != nil {
+			return nil, pt.err
 		}
-		curve[v-1] = base / secs
+		if vi == 0 {
+			base = pt.secs
+		}
+		curve[vi] = base / pt.secs
 	}
 	return curve, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -73,6 +73,10 @@ type FlowOptions struct {
 	// RouteWorkers enables real goroutine parallelism in uninstrumented
 	// routing.
 	RouteWorkers int
+	// Workers bounds the worker pools of the synthesis, placement and
+	// STA kernels; 0 means GOMAXPROCS. Results are identical for every
+	// value.
+	Workers int
 }
 
 // FlowResult bundles the artifacts and profiles of one flow run.
@@ -98,6 +102,7 @@ func RunFlow(g *aig.Graph, lib *techlib.Library, opts FlowOptions) (*FlowResult,
 		Recipe:          opts.Recipe,
 		RegisterOutputs: opts.RegisterOutputs,
 		Probe:           probeFor(JobSynthesis),
+		Workers:         opts.Workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: synthesis: %w", err)
@@ -106,7 +111,7 @@ func RunFlow(g *aig.Graph, lib *techlib.Library, opts FlowOptions) (*FlowResult,
 	out.Netlist = sres.Netlist
 	out.Reports[JobSynthesis] = sres.Report
 
-	pl, preport, err := place.Place(out.Netlist, place.Options{Probe: probeFor(JobPlacement)})
+	pl, preport, err := place.Place(out.Netlist, place.Options{Probe: probeFor(JobPlacement), Workers: opts.Workers})
 	if err != nil {
 		return nil, fmt.Errorf("core: placement: %w", err)
 	}
@@ -126,6 +131,7 @@ func RunFlow(g *aig.Graph, lib *techlib.Library, opts FlowOptions) (*FlowResult,
 	tres, treport, err := sta.Analyze(out.Netlist, pl, sta.Options{
 		ClockPeriodNs: opts.ClockPeriodNs,
 		Probe:         probeFor(JobSTA),
+		Workers:       opts.Workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: sta: %w", err)

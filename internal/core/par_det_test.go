@@ -1,0 +1,40 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestCharacterizeDeterministicAcrossWorkers: fanning the per-VM-config
+// profiling runs out across cores must reproduce the serial sweep
+// exactly — runtimes, counters and derived percentages.
+func TestCharacterizeDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) *DesignCharacterization {
+		opts := charOpts
+		opts.Workers = workers
+		char, err := CharacterizeEval(lib, "dyn_node", opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return char
+	}
+	want := run(1)
+	workers := []int{4}
+	if runtime.GOMAXPROCS(0) > 1 {
+		workers = append(workers, 0) // the GOMAXPROCS pool
+	}
+	for _, w := range workers {
+		got := run(w)
+		if got.Cells != want.Cells || got.WorkScale != want.WorkScale {
+			t.Fatalf("workers=%d: cells/scale %d/%g, want %d/%g", w, got.Cells, got.WorkScale, want.Cells, want.WorkScale)
+		}
+		for vi := range want.Profiles {
+			for ji := range want.Profiles[vi] {
+				g, s := got.Profiles[vi][ji], want.Profiles[vi][ji]
+				if g.Seconds != s.Seconds || g.Counters != s.Counters || g.Speedup != s.Speedup {
+					t.Fatalf("workers=%d: profile[%d][%d] differs: %+v vs %+v", w, vi, ji, g, s)
+				}
+			}
+		}
+	}
+}

@@ -20,8 +20,10 @@ import (
 	"math"
 	"math/rand"
 
+	"edacloud/internal/ints"
 	"edacloud/internal/mat"
 	"edacloud/internal/netlist"
+	"edacloud/internal/par"
 )
 
 // Config holds model hyperparameters. Zero values take the paper's
@@ -34,6 +36,9 @@ type Config struct {
 	LR       float64 // Adam learning rate; 0 = 1e-4
 	Epochs   int     // training epochs; 0 = 200
 	Seed     int64   // weight-init and shuffle seed
+	// Workers bounds the worker pool for the matrix and aggregation
+	// kernels; 0 = GOMAXPROCS. Results are identical for every value.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -96,24 +101,33 @@ func FromStarGraph(g *netlist.Graph) *Graph {
 }
 
 // aggregate computes out[v] = mean over predecessors u of h[u]
-// (zero for source nodes).
-func (g *Graph) aggregate(h, out *mat.Dense) {
+// (zero for source nodes). Output rows are independent — each reads
+// only h — so the node loop runs on the pool with results identical
+// to a serial sweep.
+func (g *Graph) aggregate(p *par.Pool, h, out *mat.Dense) {
 	out.Zero()
 	n := h.Rows
-	for v := 0; v < n; v++ {
-		lo, hi := g.PredStart[v], g.PredStart[v+1]
-		if lo == hi {
-			continue
-		}
-		oRow := out.Row(v)
-		inv := 1 / float64(hi-lo)
-		for _, u := range g.Pred[lo:hi] {
-			uRow := h.Row(int(u))
-			for j, uv := range uRow {
-				oRow[j] += uv * inv
+	p.For(n, aggGrain(h.Cols), func(vlo, vhi int) {
+		for v := vlo; v < vhi; v++ {
+			lo, hi := g.PredStart[v], g.PredStart[v+1]
+			if lo == hi {
+				continue
+			}
+			oRow := out.Row(v)
+			inv := 1 / float64(hi-lo)
+			for _, u := range g.Pred[lo:hi] {
+				uRow := h.Row(int(u))
+				for j, uv := range uRow {
+					oRow[j] += uv * inv
+				}
 			}
 		}
-	}
+	})
+}
+
+// aggGrain chunks the aggregation sweep to roughly 32k element-ops.
+func aggGrain(cols int) int {
+	return ints.Max(1, (32<<10)/ints.Max(cols, 1))
 }
 
 // aggregateBack scatters gradients through the aggregation: for each
@@ -149,6 +163,7 @@ type Model struct {
 	OW, OBias *mat.Dense
 
 	adam *adamState
+	pool *par.Pool
 }
 
 // NewModel initializes a model for the given input feature width.
@@ -173,6 +188,7 @@ func NewModel(cfg Config, inDim int) *Model {
 		w.Glorot(rng)
 	}
 	m.adam = newAdamState(m.params())
+	m.pool = par.Fixed(cfg.Workers)
 	return m
 }
 
@@ -199,16 +215,16 @@ func (m *Model) forward(g *Graph) *forwardState {
 	n := g.X.Rows
 
 	st.agg1 = mat.New(n, m.InDim)
-	g.aggregate(g.X, st.agg1)
-	st.h1 = mat.Mul(st.agg1, m.W1, nil)
-	selfTerm := mat.Mul(g.X, m.B1, nil)
+	g.aggregate(m.pool, g.X, st.agg1)
+	st.h1 = mat.MulPool(m.pool, st.agg1, m.W1, nil)
+	selfTerm := mat.MulPool(m.pool, g.X, m.B1, nil)
 	mat.AddInPlace(st.h1, selfTerm)
 	st.mask1 = mat.ReLU(st.h1)
 
 	st.agg2 = mat.New(n, m.Cfg.Hidden1)
-	g.aggregate(st.h1, st.agg2)
-	st.h2 = mat.Mul(st.agg2, m.W2, nil)
-	selfTerm2 := mat.Mul(st.h1, m.B2, nil)
+	g.aggregate(m.pool, st.h1, st.agg2)
+	st.h2 = mat.MulPool(m.pool, st.agg2, m.W2, nil)
+	selfTerm2 := mat.MulPool(m.pool, st.h1, m.B2, nil)
 	mat.AddInPlace(st.h2, selfTerm2)
 	st.mask2 = mat.ReLU(st.h2)
 
@@ -218,16 +234,16 @@ func (m *Model) forward(g *Graph) *forwardState {
 	// augmented with an explicit log-node-count feature, which is what
 	// lets the head extrapolate runtime to unseen design sizes.
 	pooledSum := mat.SumRows(st.h2)
-	pooledSum.Scale(1 / float64(maxIntG(n, 1)))
+	pooledSum.Scale(1 / float64(ints.Max(n, 1)))
 	st.pooled = mat.New(1, m.Cfg.Hidden2+1)
 	copy(st.pooled.Data, pooledSum.Data)
 	st.pooled.Data[m.Cfg.Hidden2] = math.Log1p(float64(n))
 
-	st.fc = mat.Mul(st.pooled, m.FW, nil)
+	st.fc = mat.MulPool(m.pool, st.pooled, m.FW, nil)
 	mat.AddInPlace(st.fc, m.FBias)
 	st.fcMask = mat.ReLU(st.fc)
 
-	st.out = mat.Mul(st.fc, m.OW, nil)
+	st.out = mat.MulPool(m.pool, st.fc, m.OW, nil)
 	mat.AddInPlace(st.out, m.OBias)
 	return st
 }
@@ -273,21 +289,21 @@ func (m *Model) backward(st *forwardState, target []float64, gr *grads) float64 
 
 	// Output layer.
 	mat.AddInPlace(gr.dOBias, dOut)
-	mat.AddInPlace(gr.dOW, mat.MulATB(st.fc, dOut, nil))
-	dFC := mat.MulABT(dOut, m.OW, nil)
+	mat.AddInPlace(gr.dOW, mat.MulATBPool(m.pool, st.fc, dOut, nil))
+	dFC := mat.MulABTPool(m.pool, dOut, m.OW, nil)
 	mat.MulElem(dFC, st.fcMask)
 
 	// FC layer.
 	mat.AddInPlace(gr.dFBias, dFC)
-	mat.AddInPlace(gr.dFW, mat.MulATB(st.pooled, dFC, nil))
-	dPooled := mat.MulABT(dFC, m.FW, nil)
+	mat.AddInPlace(gr.dFW, mat.MulATBPool(m.pool, st.pooled, dFC, nil))
+	dPooled := mat.MulABTPool(m.pool, dFC, m.FW, nil)
 
 	// Pooling broadcast: every node row receives the embedding part of
 	// dPooled scaled by 1/n (the size feature is an input, not
 	// backpropagated).
 	n := st.h2.Rows
 	dH2 := mat.New(n, m.Cfg.Hidden2)
-	inv := 1 / float64(maxIntG(n, 1))
+	inv := 1 / float64(ints.Max(n, 1))
 	for i := 0; i < n; i++ {
 		row := dH2.Row(i)
 		for j := 0; j < m.Cfg.Hidden2; j++ {
@@ -297,16 +313,16 @@ func (m *Model) backward(st *forwardState, target []float64, gr *grads) float64 
 	mat.MulElem(dH2, st.mask2)
 
 	// Layer 2: h2 = agg2*W2 + h1*B2.
-	mat.AddInPlace(gr.dW2, mat.MulATB(st.agg2, dH2, nil))
-	mat.AddInPlace(gr.dB2, mat.MulATB(st.h1, dH2, nil))
-	dAgg2 := mat.MulABT(dH2, m.W2, nil)
-	dH1 := mat.MulABT(dH2, m.B2, nil)
+	mat.AddInPlace(gr.dW2, mat.MulATBPool(m.pool, st.agg2, dH2, nil))
+	mat.AddInPlace(gr.dB2, mat.MulATBPool(m.pool, st.h1, dH2, nil))
+	dAgg2 := mat.MulABTPool(m.pool, dH2, m.W2, nil)
+	dH1 := mat.MulABTPool(m.pool, dH2, m.B2, nil)
 	st.g.aggregateBack(dAgg2, dH1)
 	mat.MulElem(dH1, st.mask1)
 
 	// Layer 1: h1 = agg1*W1 + X*B1.
-	mat.AddInPlace(gr.dW1, mat.MulATB(st.agg1, dH1, nil))
-	mat.AddInPlace(gr.dB1, mat.MulATB(st.g.X, dH1, nil))
+	mat.AddInPlace(gr.dW1, mat.MulATBPool(m.pool, st.agg1, dH1, nil))
+	mat.AddInPlace(gr.dB1, mat.MulATBPool(m.pool, st.g.X, dH1, nil))
 	// No gradient past the input features.
 	return loss
 }
@@ -378,13 +394,6 @@ func (m *Model) Loss(samples []Sample) float64 {
 		}
 	}
 	return total / float64(len(samples))
-}
-
-func maxIntG(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // adamState implements the Adam optimizer.

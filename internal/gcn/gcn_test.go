@@ -57,7 +57,7 @@ func TestAggregateMean(t *testing.T) {
 	}
 	g := FromStarGraph(sg)
 	out := mat.New(3, 1)
-	g.aggregate(g.X, out)
+	g.aggregate(nil, g.X, out)
 	if out.At(2, 0) != 3 { // mean of 2 and 4
 		t.Fatalf("aggregate = %g, want 3", out.At(2, 0))
 	}

@@ -1,0 +1,69 @@
+package gcn
+
+import (
+	"math/rand"
+	"testing"
+
+	"edacloud/internal/mat"
+)
+
+// randomDAGGraph builds a synthetic layered DAG sample large enough to
+// push the matrix kernels over their parallel thresholds.
+func randomDAGGraph(rng *rand.Rand, nodes, inDim int) *Graph {
+	x := mat.New(nodes, inDim)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	predStart := make([]int32, nodes+1)
+	var pred []int32
+	for v := 0; v < nodes; v++ {
+		predStart[v] = int32(len(pred))
+		deg := rng.Intn(3)
+		for e := 0; e < deg && v > 0; e++ {
+			pred = append(pred, int32(rng.Intn(v)))
+		}
+	}
+	predStart[nodes] = int32(len(pred))
+	return &Graph{X: x, PredStart: predStart, Pred: pred}
+}
+
+// TestTrainDeterministicAcrossWorkers: training loss and learned
+// weights must be bit-identical at 1, 2 and 8 workers — the pooled
+// matmuls and aggregation never reassociate a row's accumulation.
+func TestTrainDeterministicAcrossWorkers(t *testing.T) {
+	const inDim = 12
+	run := func(workers int) (float64, []float64, []float64) {
+		rng := rand.New(rand.NewSource(99))
+		var samples []Sample
+		for s := 0; s < 4; s++ {
+			samples = append(samples, Sample{
+				Name:    "g",
+				G:       randomDAGGraph(rng, 400+100*s, inDim),
+				Targets: []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()},
+			})
+		}
+		m := NewModel(Config{Hidden1: 64, Hidden2: 32, FCHidden: 16, Epochs: 4, LR: 1e-3, Seed: 3, Workers: workers}, inDim)
+		stats, err := m.Train(samples)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return stats.FinalLoss, append([]float64(nil), m.W1.Data...), append([]float64(nil), m.OW.Data...)
+	}
+	wantLoss, wantW1, wantOW := run(1)
+	for _, w := range []int{2, 8} {
+		loss, w1, ow := run(w)
+		if loss != wantLoss {
+			t.Fatalf("workers=%d: final loss %x, want %x", w, loss, wantLoss)
+		}
+		for i := range wantW1 {
+			if w1[i] != wantW1[i] {
+				t.Fatalf("workers=%d: W1[%d] differs", w, i)
+			}
+		}
+		for i := range wantOW {
+			if ow[i] != wantOW[i] {
+				t.Fatalf("workers=%d: OW[%d] differs", w, i)
+			}
+		}
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"edacloud/internal/par"
 )
 
 // Dense is a row-major matrix. The zero value is not usable; construct
@@ -71,14 +73,52 @@ func (m *Dense) Glorot(rng *rand.Rand) {
 	}
 }
 
+// parFlops is the kernel work (multiply-add count) below which the
+// parallel paths are not worth their scheduling overhead.
+const parFlops = 1 << 15
+
+// rowGrain sizes row chunks so each holds roughly parFlops work.
+func rowGrain(rows, flopsPerRow int) int {
+	if flopsPerRow < 1 {
+		flopsPerRow = 1
+	}
+	g := parFlops / flopsPerRow
+	if g < 1 {
+		g = 1
+	}
+	if g > rows {
+		g = rows
+	}
+	return g
+}
+
 // Mul computes out = a * b, allocating out when nil is passed.
-func Mul(a, b, out *Dense) *Dense {
+func Mul(a, b, out *Dense) *Dense { return MulPool(par.Default(), a, b, out) }
+
+// MulPool is Mul on an explicit worker pool. Rows of out are
+// partitioned across workers; each row's accumulation order matches
+// the serial kernel exactly, so the result is bit-identical for any
+// pool size.
+func MulPool(p *par.Pool, a, b, out *Dense) *Dense {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("mat: Mul shape mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out = prep(out, a.Rows, b.Cols)
-	// ikj loop order: streams b rows, accumulates into out rows.
-	for i := 0; i < a.Rows; i++ {
+	flopsPerRow := a.Cols * b.Cols
+	if p.Workers() > 1 && a.Rows*flopsPerRow >= parFlops {
+		p.For(a.Rows, rowGrain(a.Rows, flopsPerRow), func(lo, hi int) {
+			mulRows(a, b, out, lo, hi)
+		})
+	} else {
+		mulRows(a, b, out, 0, a.Rows)
+	}
+	return out
+}
+
+// mulRows computes rows [lo, hi) of out = a * b in ikj order: streams
+// b rows, accumulates into out rows.
+func mulRows(a, b, out *Dense, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		oRow := out.Row(i)
 		aRow := a.Row(i)
 		for k := 0; k < a.Cols; k++ {
@@ -92,38 +132,74 @@ func Mul(a, b, out *Dense) *Dense {
 			}
 		}
 	}
-	return out
 }
 
 // MulATB computes out = aᵀ * b (for weight gradients).
-func MulATB(a, b, out *Dense) *Dense {
+func MulATB(a, b, out *Dense) *Dense { return MulATBPool(par.Default(), a, b, out) }
+
+// MulATBPool is MulATB on an explicit worker pool, partitioned over
+// rows of out (columns of a). Each (i, j) accumulates over a's rows
+// in ascending order exactly as the serial kernel does, so results
+// are bit-identical for any pool size.
+func MulATBPool(p *par.Pool, a, b, out *Dense) *Dense {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("mat: MulATB shape mismatch %dx%d, %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out = prep(out, a.Cols, b.Cols)
-	for r := 0; r < a.Rows; r++ {
-		aRow := a.Row(r)
-		bRow := b.Row(r)
-		for i, av := range aRow {
+	flopsPerRow := a.Rows * b.Cols
+	if p.Workers() > 1 && a.Cols*flopsPerRow >= parFlops {
+		p.For(a.Cols, rowGrain(a.Cols, flopsPerRow), func(lo, hi int) {
+			mulATBRows(a, b, out, lo, hi)
+		})
+	} else {
+		mulATBRows(a, b, out, 0, a.Cols)
+	}
+	return out
+}
+
+// mulATBRows computes rows [lo, hi) of out = aᵀ * b: out row i gathers
+// column i of a against the rows of b, ascending over a's rows.
+func mulATBRows(a, b, out *Dense, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		oRow := out.Row(i)
+		for r := 0; r < a.Rows; r++ {
+			av := a.Data[r*a.Cols+i]
 			if av == 0 {
 				continue
 			}
-			oRow := out.Row(i)
+			bRow := b.Row(r)
 			for j, bv := range bRow {
 				oRow[j] += av * bv
 			}
 		}
 	}
-	return out
 }
 
 // MulABT computes out = a * bᵀ (for input gradients).
-func MulABT(a, b, out *Dense) *Dense {
+func MulABT(a, b, out *Dense) *Dense { return MulABTPool(par.Default(), a, b, out) }
+
+// MulABTPool is MulABT on an explicit worker pool, partitioned over
+// rows of out (rows of a); dot products keep their serial order, so
+// results are bit-identical for any pool size.
+func MulABTPool(p *par.Pool, a, b, out *Dense) *Dense {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("mat: MulABT shape mismatch %dx%d, %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out = prep(out, a.Rows, b.Rows)
-	for i := 0; i < a.Rows; i++ {
+	flopsPerRow := a.Cols * b.Rows
+	if p.Workers() > 1 && a.Rows*flopsPerRow >= parFlops {
+		p.For(a.Rows, rowGrain(a.Rows, flopsPerRow), func(lo, hi int) {
+			mulABTRows(a, b, out, lo, hi)
+		})
+	} else {
+		mulABTRows(a, b, out, 0, a.Rows)
+	}
+	return out
+}
+
+// mulABTRows computes rows [lo, hi) of out = a * bᵀ.
+func mulABTRows(a, b, out *Dense, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		aRow := a.Row(i)
 		oRow := out.Row(i)
 		for j := 0; j < b.Rows; j++ {
@@ -135,7 +211,6 @@ func MulABT(a, b, out *Dense) *Dense {
 			oRow[j] = acc
 		}
 	}
-	return out
 }
 
 func prep(out *Dense, rows, cols int) *Dense {

@@ -1,0 +1,183 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"edacloud/internal/perf"
+)
+
+func testPools(t *testing.T) []*Pool {
+	t.Helper()
+	return []*Pool{Fixed(1), Fixed(2), Fixed(8)}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, p := range testPools(t) {
+		for _, n := range []int{0, 1, 7, 100, 1000} {
+			for _, grain := range []int{0, 1, 3, 64, 5000} {
+				hits := make([]int32, n)
+				p.For(n, grain, func(lo, hi int) {
+					if lo < 0 || hi > n || lo >= hi {
+						t.Errorf("workers=%d n=%d grain=%d: bad chunk [%d,%d)", p.Workers(), n, grain, lo, hi)
+					}
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&hits[i], 1)
+					}
+				})
+				for i, h := range hits {
+					if h != 1 {
+						t.Fatalf("workers=%d n=%d grain=%d: index %d visited %d times", p.Workers(), n, grain, i, h)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestForNilPoolRunsSerially(t *testing.T) {
+	var p *Pool
+	sum := 0
+	p.For(10, 3, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum += i
+		}
+	})
+	if sum != 45 {
+		t.Fatalf("nil-pool For sum = %d", sum)
+	}
+}
+
+func TestMapOrder(t *testing.T) {
+	for _, p := range testPools(t) {
+		got := Map(p, 100, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: Map[%d] = %d", p.Workers(), i, v)
+			}
+		}
+	}
+	if Map(Fixed(2), 0, func(i int) int { return i }) != nil {
+		t.Fatal("empty Map should be nil")
+	}
+}
+
+// TestReduceBitIdentical: a floating-point sum whose merge order is
+// fixed by chunk index must be bit-identical for every worker count.
+func TestReduceBitIdentical(t *testing.T) {
+	xs := make([]float64, 10007)
+	for i := range xs {
+		xs[i] = 1.0 / float64(i+1)
+	}
+	chunk := func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += xs[i]
+		}
+		return s
+	}
+	merge := func(a, b float64) float64 { return a + b }
+	want := Reduce(Fixed(1), len(xs), 64, 0.0, chunk, merge)
+	for _, p := range testPools(t) {
+		got := Reduce(p, len(xs), 64, 0.0, chunk, merge)
+		if got != want {
+			t.Fatalf("workers=%d: Reduce = %x, want %x", p.Workers(), got, want)
+		}
+	}
+}
+
+// TestForProbeDeterministicCounters: the shard layout is a pure
+// function of the iteration shape, so the simulated counters must be
+// identical for every worker count.
+func TestForProbeDeterministicCounters(t *testing.T) {
+	run := func(p *Pool) perf.Counters {
+		probe := perf.NewProbe(perf.DefaultProbeConfig())
+		// Two regions back to back: shard state must persist and merge
+		// deterministically across regions.
+		for region := 0; region < 2; region++ {
+			p.ForProbe(probe, 1000, 16, func(lo, hi, shard int, sp *perf.Probe) {
+				for i := lo; i < hi; i++ {
+					sp.LoadHot(region, uint64(i))
+					sp.Branch(0x7, i%3 == 0)
+					sp.Ops(5)
+				}
+			})
+		}
+		return probe.Counters()
+	}
+	want := run(Fixed(1))
+	if want.Instrs == 0 {
+		t.Fatal("no events recorded")
+	}
+	for _, p := range testPools(t) {
+		if got := run(p); got != want {
+			t.Fatalf("workers=%d: counters %+v, want %+v", p.Workers(), got, want)
+		}
+	}
+}
+
+func TestForProbeNilProbe(t *testing.T) {
+	hits := make([]int32, 500)
+	Fixed(4).ForProbe(nil, len(hits), 8, func(lo, hi, shard int, sp *perf.Probe) {
+		if sp != nil {
+			t.Error("nil probe should yield nil shards")
+		}
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+}
+
+// TestNestedForNoDeadlock: a parallel region launched from inside a
+// parallel region must degrade gracefully instead of deadlocking on a
+// saturated pool.
+func TestNestedForNoDeadlock(t *testing.T) {
+	p := Fixed(2)
+	var total atomic.Int64
+	p.For(8, 1, func(lo, hi int) {
+		p.For(100, 10, func(ilo, ihi int) {
+			total.Add(int64(ihi - ilo))
+		})
+	})
+	if total.Load() != 800 {
+		t.Fatalf("nested For total = %d, want 800", total.Load())
+	}
+}
+
+func TestPoolReuseAcrossCalls(t *testing.T) {
+	p := Fixed(4)
+	for iter := 0; iter < 200; iter++ {
+		var n atomic.Int64
+		p.For(64, 4, func(lo, hi int) { n.Add(int64(hi - lo)) })
+		if n.Load() != 64 {
+			t.Fatalf("iter %d: covered %d of 64", iter, n.Load())
+		}
+	}
+}
+
+func TestFixedPoolsAreCached(t *testing.T) {
+	if Fixed(3) != Fixed(3) {
+		t.Fatal("Fixed(3) not cached")
+	}
+	if Default() != Fixed(0) {
+		t.Fatal("Default is not the GOMAXPROCS pool")
+	}
+	if Fixed(5).Workers() != 5 {
+		t.Fatalf("Workers = %d", Fixed(5).Workers())
+	}
+}
+
+func TestNewPoolClose(t *testing.T) {
+	p := NewPool(3)
+	var n atomic.Int64
+	p.For(30, 1, func(lo, hi int) { n.Add(int64(hi - lo)) })
+	p.Close()
+	if n.Load() != 30 {
+		t.Fatalf("covered %d of 30", n.Load())
+	}
+}

@@ -61,9 +61,17 @@ type Probe struct {
 	// HotBytes bounds each hot region's footprint. Zero means 32 KiB.
 	HotBytes uint64
 
+	cfg      ProbeConfig
 	coldNext uint64
 	c        Counters
 	mark     Counters // snapshot at the last phase boundary
+
+	// shards are the per-worker child probes handed out to parallel
+	// regions (see Shards). Each keeps its own cache and predictor
+	// state, persisting across regions so per-worker working windows
+	// stay warm the way real per-core caches do.
+	shards  []*Probe
+	drained Counters // portion of c already absorbed by a parent
 }
 
 // NewProbe builds a probe with the given geometry.
@@ -72,7 +80,43 @@ func NewProbe(cfg ProbeConfig) *Probe {
 		l1:       NewCache(cfg.L1Bytes, cfg.L1Ways, cfg.LineBytes),
 		llc:      NewCache(cfg.LLCBytes, cfg.LLCWays, cfg.LineBytes),
 		bp:       NewBranchPredictor(cfg.PredictorBits),
+		cfg:      cfg,
 		coldNext: 1 << 40, // cold stream lives far from every region
+	}
+}
+
+// Shards returns n per-worker child probes with the parent's geometry.
+// Shards are created once and reused across parallel regions, so their
+// cache and predictor state accumulates like a real worker's core
+// state. The parent must not record events while its shards are in
+// use; after the region, call MergeShards to fold the shard deltas
+// back in. A nil probe returns nil shards (all nil-safe).
+func (p *Probe) Shards(n int) []*Probe {
+	if p == nil {
+		return make([]*Probe, n)
+	}
+	for len(p.shards) < n {
+		s := NewProbe(p.cfg)
+		s.HotBytes = p.HotBytes
+		p.shards = append(p.shards, s)
+	}
+	return p.shards[:n]
+}
+
+// MergeShards absorbs the events each shard recorded since its last
+// merge into p's counters, in shard order — a deterministic reduction
+// independent of which OS thread ran which shard.
+func (p *Probe) MergeShards(shards []*Probe) {
+	if p == nil {
+		return
+	}
+	for _, s := range shards {
+		if s == nil {
+			continue
+		}
+		delta := sub(s.c, s.drained)
+		p.c.Add(&delta)
+		s.drained = s.c
 	}
 }
 

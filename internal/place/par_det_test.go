@@ -1,0 +1,50 @@
+package place
+
+import (
+	"reflect"
+	"testing"
+
+	"edacloud/internal/designs"
+	"edacloud/internal/perf"
+	"edacloud/internal/synth"
+	"edacloud/internal/techlib"
+)
+
+// TestPlaceDeterministicAcrossWorkers: the parallel CG matVec must
+// leave every coordinate — and, via static probe shards, every
+// simulated counter — bit-identical to a 1-worker run at 1, 2 and 8
+// workers.
+func TestPlaceDeterministicAcrossWorkers(t *testing.T) {
+	lib := techlib.Default14nm()
+	g := designs.MustBenchmark("int2float", 0.5)
+	sres, err := synth.Synthesize(g, lib, synth.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, instrumented := range []bool{false, true} {
+		run := func(workers int) (*Placement, perf.Counters) {
+			var probe *perf.Probe
+			if instrumented {
+				probe = perf.NewProbe(perf.DefaultProbeConfig())
+			}
+			pl, _, err := Place(sres.Netlist, Options{Probe: probe, Workers: workers})
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			return pl, probe.Counters()
+		}
+		wantPl, wantCounters := run(1)
+		for _, w := range []int{2, 8} {
+			pl, counters := run(w)
+			if !reflect.DeepEqual(pl, wantPl) {
+				t.Fatalf("instrumented=%v workers=%d: placement differs from serial (HPWL %g vs %g)",
+					instrumented, w, pl.HPWL, wantPl.HPWL)
+			}
+			if counters != wantCounters {
+				t.Fatalf("instrumented=%v workers=%d: counters %+v, want %+v",
+					instrumented, w, counters, wantCounters)
+			}
+		}
+	}
+}

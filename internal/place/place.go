@@ -16,7 +16,9 @@ import (
 	"math"
 	"sort"
 
+	"edacloud/internal/ints"
 	"edacloud/internal/netlist"
+	"edacloud/internal/par"
 	"edacloud/internal/perf"
 )
 
@@ -34,6 +36,9 @@ type Options struct {
 	Bins int
 	// Probe receives performance events; nil runs uninstrumented.
 	Probe *perf.Probe
+	// Workers bounds the worker pool for the parallel CG matrix-vector
+	// rows; 0 means GOMAXPROCS. Results are identical for every value.
+	Workers int
 }
 
 func (o Options) withDefaults(n int) Options {
@@ -109,6 +114,7 @@ func Place(nl *netlist.Netlist, opts Options) (*Placement, *perf.Report, error) 
 	placePads(nl, p)
 
 	sys := buildSystem(nl, p, probe)
+	sys.pool = par.Fixed(opts.Workers)
 
 	// Initial positions: die center (CG starts from flat).
 	for i := range p.X {
@@ -181,6 +187,7 @@ type system struct {
 	diag      []float64
 	bx, by    []float64
 	avgDegree float64
+	pool      *par.Pool
 }
 
 // buildSystem assembles the star-model quadratic system.
@@ -274,21 +281,30 @@ func buildSystem(nl *netlist.Netlist, p *Placement, probe *perf.Probe) *system {
 	}
 }
 
-// matVec computes out = A*x where A = diag + off-diagonals.
+// matVecGrain is the per-chunk row count of the parallel matVec; a
+// fixed constant keeps the probe-shard layout machine-independent.
+const matVecGrain = 128
+
+// matVec computes out = A*x where A = diag + off-diagonals. Rows are
+// independent, so the CSR row loop — the hot kernel of the CG solver —
+// runs on the pool; each row's gather order is unchanged, so results
+// are bit-identical to the serial loop.
 func (s *system) matVec(x, out []float64, probe *perf.Probe) {
 	probe.LoadRange(vecAddr(0, 0), s.n, 8)
-	for i := 0; i < s.n; i++ {
-		acc := s.diag[i] * x[i]
-		for k := s.rowStart[i]; k < s.rowStart[i+1]; k++ {
-			j := s.colIdx[k]
-			// Gather through connectivity: the position vector is hot
-			// (it fits the LLC even at one slice on real design sizes);
-			// only the streamed operand arrays pay capacity misses.
-			probe.LoadHot(rgGather, uint64(j))
-			acc += s.val[k] * x[j]
+	s.pool.ForProbe(probe, s.n, matVecGrain, func(lo, hi, _ int, probe *perf.Probe) {
+		for i := lo; i < hi; i++ {
+			acc := s.diag[i] * x[i]
+			for k := s.rowStart[i]; k < s.rowStart[i+1]; k++ {
+				j := s.colIdx[k]
+				// Gather through connectivity: the position vector is hot
+				// (it fits the LLC even at one slice on real design sizes);
+				// only the streamed operand arrays pay capacity misses.
+				probe.LoadHot(rgGather, uint64(j))
+				acc += s.val[k] * x[j]
+			}
+			out[i] = acc
 		}
-		out[i] = acc
-	}
+	})
 	probe.FPVector(2*len(s.val) + 2*s.n)
 	probe.LoopBranches(len(s.val) + s.n)
 }
@@ -452,7 +468,7 @@ func spread(nl *netlist.Netlist, p *Placement, bins int, probe *perf.Probe) ([]f
 		for ring := 1; ring < bins && excess > 0 && mi >= 0; ring++ {
 			for dy := -ring; dy <= ring && excess > 0 && mi >= 0; dy++ {
 				for dx := -ring; dx <= ring && excess > 0 && mi >= 0; dx++ {
-					if absInt(dx) != ring && absInt(dy) != ring {
+					if ints.Abs(dx) != ring && ints.Abs(dy) != ring {
 						continue
 					}
 					nx, ny := bx+dx, by+dy
@@ -494,13 +510,6 @@ func spread(nl *netlist.Netlist, p *Placement, bins int, probe *perf.Probe) ([]f
 		residual = totalOver / totalArea
 	}
 	return tx, ty, residual
-}
-
-func absInt(v int) int {
-	if v < 0 {
-		return -v
-	}
-	return v
 }
 
 // legalize snaps cells to rows with Tetris packing: cells sorted by x

@@ -18,9 +18,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"sync"
 
+	"edacloud/internal/ints"
 	"edacloud/internal/netlist"
+	"edacloud/internal/par"
 	"edacloud/internal/perf"
 	"edacloud/internal/place"
 )
@@ -228,7 +229,7 @@ func Route(nl *netlist.Netlist, pl *place.Placement, opts Options) (*Result, *pe
 		routeConnection(g, c, probe)
 	}
 	pf := 0.88 + 0.11*res.TileLocalFraction
-	report.AddPhase(probe.TakePhase("route-initial", pf, maxInt(res.BusyTiles, 1)))
+	report.AddPhase(probe.TakePhase("route-initial", pf, ints.Max(res.BusyTiles, 1)))
 
 	// Negotiated congestion: raise history on overused edges, rip up
 	// offenders, reroute.
@@ -274,7 +275,7 @@ func Route(nl *netlist.Netlist, pl *place.Placement, opts Options) (*Result, *pe
 	// Rip-up rounds stay region-parallel but synchronize on the shared
 	// congestion history between rounds; scaling is somewhat poorer
 	// than the initial pass.
-	report.AddPhase(probe.TakePhase("rip-up-reroute", 0.60+0.35*res.TileLocalFraction, maxInt(res.BusyTiles/2, 1)))
+	report.AddPhase(probe.TakePhase("rip-up-reroute", 0.60+0.35*res.TileLocalFraction, ints.Max(res.BusyTiles/2, 1)))
 
 	// Refinement: with congestion negotiated, reroute every connection
 	// once against the final cost landscape (the wire/timing cleanup
@@ -303,7 +304,7 @@ func Route(nl *netlist.Netlist, pl *place.Placement, opts Options) (*Result, *pe
 			routeConnection(g, c, probe)
 		}
 	}
-	report.AddPhase(probe.TakePhase("refine", pf, maxInt(res.BusyTiles, 1)))
+	report.AddPhase(probe.TakePhase("refine", pf, ints.Max(res.BusyTiles, 1)))
 
 	for i := range conns {
 		if conns[i].path == nil && !(conns[i].sx == conns[i].tx && conns[i].sy == conns[i].ty) {
@@ -313,13 +314,6 @@ func Route(nl *netlist.Netlist, pl *place.Placement, opts Options) (*Result, *pe
 	}
 	res.Overflow = len(g.overusedEdges())
 	return res, report, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // buildConnections decomposes every net into driver-to-sink two-pin
@@ -400,35 +394,24 @@ func buildConnections(nl *netlist.Netlist, pl *place.Placement, g *grid, opts Op
 	return conns
 }
 
-// routeTilesParallel routes tile-local connection groups on Workers
-// goroutines. Tile-local paths can leave their tile only through A*
-// detours; to keep workers disjoint we clamp the search to the tile's
-// bounding box (one gcell margin), which is also what keeps their grid
-// state writes race-free.
+// routeTilesParallel routes tile-local connection groups on the shared
+// par worker pool (sized to opts.Workers). Tile-local paths can leave
+// their tile only through A* detours; to keep workers disjoint we
+// clamp the search to the tile's bounding box (one gcell margin),
+// which is also what keeps their grid state writes race-free.
 func routeTilesParallel(g *grid, tiles map[int32][]*connection, opts Options) {
 	ids := make([]int32, 0, len(tiles))
 	for id := range tiles {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	var wg sync.WaitGroup
-	work := make(chan int32)
-	for w := 0; w < opts.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for id := range work {
-				for _, c := range tiles[id] {
-					routeConnectionBounded(g, c, nil, tileBounds(g, id, opts.TileSize))
-				}
+	par.Fixed(opts.Workers).For(len(ids), 1, func(lo, hi int) {
+		for _, id := range ids[lo:hi] {
+			for _, c := range tiles[id] {
+				routeConnectionBounded(g, c, nil, tileBounds(g, id, opts.TileSize))
 			}
-		}()
-	}
-	for _, id := range ids {
-		work <- id
-	}
-	close(work)
-	wg.Wait()
+		}
+	})
 }
 
 // tileBounds returns the search window of a tile id. Windows of

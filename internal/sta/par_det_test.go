@@ -1,0 +1,55 @@
+package sta
+
+import (
+	"reflect"
+	"testing"
+
+	"edacloud/internal/designs"
+	"edacloud/internal/perf"
+	"edacloud/internal/place"
+	"edacloud/internal/synth"
+	"edacloud/internal/techlib"
+)
+
+// TestAnalyzeDeterministicAcrossWorkers: the level-parallel arrival
+// sweep must reproduce the 1-worker timing report exactly — arrival
+// times, slacks, critical path and simulated counters — at 1, 2 and 8
+// workers, instrumented and not.
+func TestAnalyzeDeterministicAcrossWorkers(t *testing.T) {
+	lib := techlib.Default14nm()
+	g := designs.MustBenchmark("cavlc", 0.5)
+	sres, err := synth.Synthesize(g, lib, synth.Options{RegisterOutputs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, _, err := place.Place(sres.Netlist, place.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, instrumented := range []bool{false, true} {
+		run := func(workers int) (*Result, perf.Counters) {
+			var probe *perf.Probe
+			if instrumented {
+				probe = perf.NewProbe(perf.DefaultProbeConfig())
+			}
+			res, _, err := Analyze(sres.Netlist, pl, Options{Probe: probe, Workers: workers})
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			return res, probe.Counters()
+		}
+		wantRes, wantCounters := run(1)
+		for _, w := range []int{2, 8} {
+			res, counters := run(w)
+			if !reflect.DeepEqual(res, wantRes) {
+				t.Fatalf("instrumented=%v workers=%d: result differs from serial:\n%+v\nwant\n%+v",
+					instrumented, w, res, wantRes)
+			}
+			if counters != wantCounters {
+				t.Fatalf("instrumented=%v workers=%d: counters %+v, want %+v",
+					instrumented, w, counters, wantCounters)
+			}
+		}
+	}
+}

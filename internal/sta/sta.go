@@ -15,7 +15,9 @@ import (
 	"math"
 	"strings"
 
+	"edacloud/internal/ints"
 	"edacloud/internal/netlist"
+	"edacloud/internal/par"
 	"edacloud/internal/perf"
 	"edacloud/internal/place"
 )
@@ -35,6 +37,9 @@ type Options struct {
 	HoldTimeNs float64
 	// Probe receives performance events; nil runs uninstrumented.
 	Probe *perf.Probe
+	// Workers bounds the worker pool for the level-parallel forward
+	// sweep; 0 means GOMAXPROCS. Results are identical for every value.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -104,14 +109,11 @@ func Analyze(nl *netlist.Netlist, pl *place.Placement, opts Options) (*Result, *
 	probe := opts.Probe
 	report := &perf.Report{Job: "sta"}
 
-	order, err := nl.TopoCells()
+	levels, err := nl.Levels()
 	if err != nil {
 		return nil, nil, fmt.Errorf("sta: %w", err)
 	}
-	levels, err := nl.Levels()
-	if err != nil {
-		return nil, nil, err
-	}
+	pool := par.Fixed(opts.Workers)
 
 	// Per-net electrical load: pin caps plus optional wire estimate.
 	load := make([]float64, nl.NumNets())
@@ -144,17 +146,30 @@ func Analyze(nl *netlist.Netlist, pl *place.Placement, opts Options) (*Result, *
 		fromPin[i] = -1
 	}
 
-	lookup := func(t *perfTable, s, l float64) float64 {
-		probe.LoadHot(rgTable, uint64(t.id)*16)
-		probe.FPVector(8) // bilinear interpolation: vectorizable FMA work
-		return t.tab.Lookup(s, l)
+	// Per-shard NLDM table caches: table ids only synthesize probe
+	// addresses, and each shard's id assignment is deterministic
+	// because its cells arrive in a fixed order.
+	tablesByShard := make([]*tableCache, par.ProbeShards)
+	for i := range tablesByShard {
+		tablesByShard[i] = newTableCache()
+	}
+	lookup := func(shard int, probe *perf.Probe, t nldmTable, s, l float64) float64 {
+		if probe != nil {
+			probe.LoadHot(rgTable, uint64(tablesByShard[shard].get(t))*16)
+			probe.FPVector(8) // bilinear interpolation: vectorizable FMA work
+		}
+		return t.Lookup(s, l)
 	}
 
-	tables := newTableCache()
-	for _, id := range order {
+	// processCell computes the arrival/slew records of one cell. Cells
+	// of one level never feed each other (sequential outputs are
+	// level-0 sources processed in the seq bucket before any
+	// combinational level), so a level's cells run concurrently; each
+	// writes only its own output net's records.
+	processCell := func(id int, shard int, probe *perf.Probe) {
 		c := &nl.Cells[id]
 		if c.Out == netlist.NoNet {
-			continue
+			return
 		}
 		probe.LoadHot(rgArrival, uint64(id))
 		// Graph traversal, pin iteration and max-reduction bookkeeping.
@@ -167,8 +182,8 @@ func Analyze(nl *netlist.Netlist, pl *place.Placement, opts Options) (*Result, *
 		if c.Type.Seq {
 			// Launch from the clock edge through the CK->Q arc.
 			arc := c.Type.Arcs[0]
-			bestArr = lookup(tables.get(&arc.Delay), opts.InputSlewNs, outLoad)
-			bestSlew = lookup(tables.get(&arc.Slew), opts.InputSlewNs, outLoad)
+			bestArr = lookup(shard, probe, &arc.Delay, opts.InputSlewNs, outLoad)
+			bestSlew = lookup(shard, probe, &arc.Slew, opts.InputSlewNs, outLoad)
 			bestPin = 1
 			minArr = bestArr
 		} else {
@@ -182,13 +197,13 @@ func Analyze(nl *netlist.Netlist, pl *place.Placement, opts Options) (*Result, *
 				}
 				inArr := arrival[netID]
 				inSlew := slew[netID]
-				d := lookup(tables.get(&arc.Delay), inSlew, outLoad)
+				d := lookup(shard, probe, &arc.Delay, inSlew, outLoad)
 				cand := inArr + d
 				better := cand > bestArr || bestPin < 0
 				probe.Branch(brMaxUpdate, better)
 				if better {
 					bestArr = cand
-					bestSlew = lookup(tables.get(&arc.Slew), inSlew, outLoad)
+					bestSlew = lookup(shard, probe, &arc.Slew, inSlew, outLoad)
 					bestPin = int32(pin)
 				}
 				if early := minArrival[netID] + d; early < minArr {
@@ -204,6 +219,22 @@ func Analyze(nl *netlist.Netlist, pl *place.Placement, opts Options) (*Result, *
 		slew[c.Out] = bestSlew
 		fromPin[c.Out] = bestPin
 		probe.StoreHot(rgArrival, uint64(c.Out))
+	}
+
+	// Levelized sweep: bucket 0 holds sequential cells (launch-edge
+	// sources), bucket l+1 the combinational cells at level l; within
+	// a bucket, ascending cell id. This is exactly the parallelism the
+	// paper ascribes to STA — concurrency bounded by each level's
+	// width.
+	for _, bucket := range levelBuckets(nl, levels) {
+		if len(bucket) == 0 {
+			continue
+		}
+		pool.ForProbe(probe, len(bucket), staGrain, func(lo, hi, shard int, probe *perf.Probe) {
+			for _, id := range bucket[lo:hi] {
+				processCell(int(id), shard, probe)
+			}
+		})
 	}
 	report.AddPhase(probe.TakePhase("arrival", staParallelFraction(levels), maxLevelWidth(levels)))
 
@@ -282,7 +313,7 @@ func Analyze(nl *netlist.Netlist, pl *place.Placement, opts Options) (*Result, *
 	reverse(res.CriticalPath)
 
 	res.LevelWidths = levelWidths(levels)
-	report.AddPhase(probe.TakePhase("required-slack", 0.5, maxInt(len(endpoints)/16, 1)))
+	report.AddPhase(probe.TakePhase("required-slack", 0.5, ints.Max(len(endpoints)/16, 1)))
 	return res, report, nil
 }
 
@@ -324,26 +355,48 @@ func addWireLoads(nl *netlist.Netlist, pl *place.Placement, load []float64, capP
 	}
 }
 
-// perfTable wraps a techlib table with a stable id for cache-address
+// nldmTable is a library timing table.
+type nldmTable interface{ Lookup(s, l float64) float64 }
+
+// staGrain is the per-chunk cell count of the level-parallel sweep; a
+// fixed constant keeps the probe-shard layout machine-independent.
+const staGrain = 16
+
+// levelBuckets groups cells for the levelized sweep: bucket 0 holds
+// sequential cells, bucket l+1 the combinational cells at level l.
+func levelBuckets(nl *netlist.Netlist, levels []int32) [][]int32 {
+	var maxLv int32 = -1
+	for _, l := range levels {
+		if l > maxLv {
+			maxLv = l
+		}
+	}
+	buckets := make([][]int32, maxLv+2)
+	for id := range nl.Cells {
+		if nl.Cells[id].Type.Seq {
+			buckets[0] = append(buckets[0], int32(id))
+		} else {
+			buckets[levels[id]+1] = append(buckets[levels[id]+1], int32(id))
+		}
+	}
+	return buckets
+}
+
+// tableCache assigns stable ids to timing tables for cache-address
 // synthesis.
-type perfTable struct {
-	id  int
-	tab interface{ Lookup(s, l float64) float64 }
-}
-
 type tableCache struct {
-	ids map[interface{}]int
+	ids map[nldmTable]int
 }
 
-func newTableCache() *tableCache { return &tableCache{ids: map[interface{}]int{}} }
+func newTableCache() *tableCache { return &tableCache{ids: map[nldmTable]int{}} }
 
-func (tc *tableCache) get(t interface{ Lookup(s, l float64) float64 }) *perfTable {
+func (tc *tableCache) get(t nldmTable) int {
 	id, ok := tc.ids[t]
 	if !ok {
 		id = len(tc.ids)
 		tc.ids[t] = id
 	}
-	return &perfTable{id: id, tab: t}
+	return id
 }
 
 // staParallelFraction estimates the level-parallel share of the
@@ -389,13 +442,6 @@ func maxLevelWidth(levels []int32) int {
 		}
 	}
 	return best
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 func reverse(p []PathStep) {

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"edacloud/internal/aig"
+	"edacloud/internal/par"
 	"edacloud/internal/perf"
 )
 
@@ -16,16 +17,26 @@ type Cut struct {
 // cutEnum enumerates priority cuts: every node keeps at most maxCuts
 // cuts of at most k leaves, built by merging fanin cuts, preferring
 // fewer leaves. The trivial cut {v} is always included (last).
+//
+// Enumeration proceeds level by level: a node's cuts depend only on
+// its fanins' cuts, which live at strictly lower levels, so all nodes
+// of one level are independent and run in parallel on the pool.
 type cutEnum struct {
 	g       *aig.Graph
 	k       int
 	maxCuts int
 	probe   *perf.Probe
+	pool    *par.Pool
 	cuts    [][]Cut
 }
 
-func newCutEnum(g *aig.Graph, k, maxCuts int, probe *perf.Probe) *cutEnum {
-	ce := &cutEnum{g: g, k: k, maxCuts: maxCuts, probe: probe, cuts: make([][]Cut, g.NumVars())}
+// cutGrain is the per-chunk node count of the intra-level parallel
+// sweep. A fixed constant keeps the probe-shard layout — and with it
+// the simulated counters — machine-independent.
+const cutGrain = 32
+
+func newCutEnum(g *aig.Graph, k, maxCuts int, probe *perf.Probe, pool *par.Pool) *cutEnum {
+	ce := &cutEnum{g: g, k: k, maxCuts: maxCuts, probe: probe, pool: pool, cuts: make([][]Cut, g.NumVars())}
 	ce.run()
 	return ce
 }
@@ -40,38 +51,66 @@ func (ce *cutEnum) run() {
 	for _, v := range g.InputVars() {
 		ce.cuts[v] = []Cut{{Leaves: []int32{int32(v)}}}
 	}
+	// Bucket AND nodes by logic level, each bucket in topological
+	// (ascending-variable) order.
+	levels := g.Levels()
+	var maxLv int32
+	for _, l := range levels {
+		if l > maxLv {
+			maxLv = l
+		}
+	}
+	buckets := make([][]int32, maxLv+1)
 	g.TopoAnds(func(v int, f0, f1 aig.Lit) {
-		ce.probe.LoadHot(rgCut, uint64(v))
-		c0 := ce.cuts[f0.Var()]
-		c1 := ce.cuts[f1.Var()]
-		var merged []Cut
-		for _, a := range c0 {
-			for _, b := range c1 {
-				leaves, ok := mergeLeaves(a.Leaves, b.Leaves, ce.k)
-				ce.probe.Branch(brCutMerge, ok)
-				// Leaf-set union, dedup hashing and cut-list bookkeeping
-				// dominate enumeration cost.
-				ce.probe.Ops(240)
-				ce.probe.LoopBranches(6)
-				ce.probe.LoadHot(rgCut, uint64(f0.Var()))
-				if !ok {
-					continue
-				}
-				merged = append(merged, Cut{Leaves: leaves})
-			}
-		}
-		merged = dedupCuts(merged)
-		sort.SliceStable(merged, func(i, j int) bool {
-			return len(merged[i].Leaves) < len(merged[j].Leaves)
-		})
-		if len(merged) > ce.maxCuts {
-			merged = merged[:ce.maxCuts]
-		}
-		// Trivial cut last so matching prefers structural cuts.
-		merged = append(merged, Cut{Leaves: []int32{int32(v)}})
-		ce.cuts[v] = merged
-		ce.probe.Ops(len(c0)*len(c1) + 4)
+		buckets[levels[v]] = append(buckets[levels[v]], int32(v))
 	})
+	for _, nodes := range buckets {
+		if len(nodes) == 0 {
+			continue
+		}
+		ce.pool.ForProbe(ce.probe, len(nodes), cutGrain, func(lo, hi, _ int, probe *perf.Probe) {
+			for _, v := range nodes[lo:hi] {
+				ce.enumNode(int(v), probe)
+			}
+		})
+	}
+}
+
+// enumNode builds the cut list of AND node v from its fanins' cuts.
+// It writes only ce.cuts[v], so nodes of one level can run
+// concurrently.
+func (ce *cutEnum) enumNode(v int, probe *perf.Probe) {
+	f0, f1 := ce.g.Fanins(v)
+	probe.LoadHot(rgCut, uint64(v))
+	c0 := ce.cuts[f0.Var()]
+	c1 := ce.cuts[f1.Var()]
+	var merged []Cut
+	for _, a := range c0 {
+		for _, b := range c1 {
+			leaves, ok := mergeLeaves(a.Leaves, b.Leaves, ce.k)
+			probe.Branch(brCutMerge, ok)
+			// Leaf-set union, dedup hashing and cut-list bookkeeping
+			// dominate enumeration cost.
+			probe.Ops(240)
+			probe.LoopBranches(6)
+			probe.LoadHot(rgCut, uint64(f0.Var()))
+			if !ok {
+				continue
+			}
+			merged = append(merged, Cut{Leaves: leaves})
+		}
+	}
+	merged = dedupCuts(merged)
+	sort.SliceStable(merged, func(i, j int) bool {
+		return len(merged[i].Leaves) < len(merged[j].Leaves)
+	})
+	if len(merged) > ce.maxCuts {
+		merged = merged[:ce.maxCuts]
+	}
+	// Trivial cut last so matching prefers structural cuts.
+	merged = append(merged, Cut{Leaves: []int32{int32(v)}})
+	ce.cuts[v] = merged
+	probe.Ops(len(c0)*len(c1) + 4)
 }
 
 // mergeLeaves unions two sorted leaf sets, failing when the union
@@ -107,40 +146,109 @@ func mergeLeaves(a, b []int32, k int) ([]int32, bool) {
 	return out, true
 }
 
+// FNV-1a parameters for leaf-set hashing.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// leafHash folds a sorted leaf set into a 64-bit FNV-1a hash,
+// replacing the per-cut []byte -> string key the dedup map used to
+// allocate in the innermost enumeration loop.
+func leafHash(leaves []int32) uint64 {
+	h := uint64(fnvOffset64)
+	for _, l := range leaves {
+		u := uint32(l)
+		h = (h ^ uint64(u&0xff)) * fnvPrime64
+		h = (h ^ uint64(u>>8&0xff)) * fnvPrime64
+		h = (h ^ uint64(u>>16&0xff)) * fnvPrime64
+		h = (h ^ uint64(u>>24&0xff)) * fnvPrime64
+	}
+	return h
+}
+
 func dedupCuts(cuts []Cut) []Cut {
-	seen := make(map[string]bool, len(cuts))
+	// seen maps leaf-set hash to the index (in out) of the first cut
+	// with that hash. On a hash match the leaves are compared exactly,
+	// so a collision can never drop a distinct cut — at worst a
+	// colliding triple keeps a redundant duplicate, which only wastes
+	// a cut slot.
+	seen := make(map[uint64]int32, len(cuts))
 	out := cuts[:0]
 	for _, c := range cuts {
-		key := leafKey(c.Leaves)
-		if seen[key] {
+		key := leafHash(c.Leaves)
+		if idx, ok := seen[key]; ok && sameLeaves(out[idx].Leaves, c.Leaves) {
 			continue
+		} else if !ok {
+			seen[key] = int32(len(out))
 		}
-		seen[key] = true
 		out = append(out, c)
 	}
 	return out
 }
 
-func leafKey(leaves []int32) string {
-	b := make([]byte, 0, len(leaves)*4)
-	for _, l := range leaves {
-		b = append(b, byte(l), byte(l>>8), byte(l>>16), byte(l>>24))
+func sameLeaves(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
 	}
-	return string(b)
+	for i, v := range a {
+		if b[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// ttScratch is a reusable truth-table memo keyed by node id. Epoch
+// stamping makes reset O(1), so the innermost mapping loop no longer
+// allocates a map per cut.
+type ttScratch struct {
+	tt    []uint64
+	epoch []uint32
+	cur   uint32
+}
+
+func (s *ttScratch) reset(nvars int) {
+	if len(s.tt) < nvars {
+		s.tt = make([]uint64, nvars)
+		s.epoch = make([]uint32, nvars)
+		s.cur = 0
+	}
+	s.cur++
+	if s.cur == 0 { // epoch counter wrapped: invalidate everything
+		for i := range s.epoch {
+			s.epoch[i] = 0
+		}
+		s.cur = 1
+	}
+}
+
+func (s *ttScratch) get(v int) (uint64, bool) {
+	if s.epoch[v] == s.cur {
+		return s.tt[v], true
+	}
+	return 0, false
+}
+
+func (s *ttScratch) set(v int, tt uint64) {
+	s.tt[v] = tt
+	s.epoch[v] = s.cur
 }
 
 // cutTT computes the truth table of variable root over the cut leaves
 // (leaf i is truth-table variable i). The cut must be valid: every
-// cone path from root terminates at a leaf.
-func cutTT(g *aig.Graph, root int, leaves []int32, probe *perf.Probe) uint64 {
+// cone path from root terminates at a leaf. sc is the caller's
+// reusable memo scratch.
+func cutTT(g *aig.Graph, root int, leaves []int32, probe *perf.Probe, sc *ttScratch) uint64 {
 	n := len(leaves)
-	memo := map[int]uint64{0: 0} // constant-false node
+	sc.reset(g.NumVars())
+	sc.set(0, 0) // constant-false node
 	for i, l := range leaves {
-		memo[int(l)] = ttVar(i, n)
+		sc.set(int(l), ttVar(i, n))
 	}
 	var eval func(v int) uint64
 	eval = func(v int) uint64 {
-		if tt, ok := memo[v]; ok {
+		if tt, ok := sc.get(v); ok {
 			return tt
 		}
 		probe.LoadHot(rgNode, uint64(v))
@@ -155,7 +263,7 @@ func cutTT(g *aig.Graph, root int, leaves []int32, probe *perf.Probe) uint64 {
 			t1 = ttNot(t1, n)
 		}
 		tt := t0 & t1
-		memo[v] = tt
+		sc.set(v, tt)
 		return tt
 	}
 	return eval(root)

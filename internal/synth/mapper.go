@@ -5,6 +5,7 @@ import (
 
 	"edacloud/internal/aig"
 	"edacloud/internal/netlist"
+	"edacloud/internal/par"
 	"edacloud/internal/perf"
 	"edacloud/internal/techlib"
 )
@@ -58,6 +59,7 @@ type mapper struct {
 	impls  [2][]nodeImpl // [polarity][var]; polarity 0 = positive
 	cuts   *cutEnum
 	fanout []int32
+	tts    ttScratch
 }
 
 // MapToCells covers the AIG with standard cells from lib and returns
@@ -70,12 +72,18 @@ func MapToCells(g *aig.Graph, lib *techlib.Library, registerOutputs bool, probe 
 // MapToCellsObjective is MapToCells with an explicit covering
 // objective.
 func MapToCellsObjective(g *aig.Graph, lib *techlib.Library, registerOutputs bool, obj MapObjective, probe *perf.Probe) (*netlist.Netlist, error) {
+	return mapToCells(g, lib, registerOutputs, obj, probe, par.Default())
+}
+
+// mapToCells is the shared mapping path with an explicit worker pool
+// (used by cut enumeration; covering itself is sequential).
+func mapToCells(g *aig.Graph, lib *techlib.Library, registerOutputs bool, obj MapObjective, probe *perf.Probe, pool *par.Pool) (*netlist.Netlist, error) {
 	inv := lib.Cell("INV_X1")
 	if inv == nil {
 		return nil, fmt.Errorf("synth: library %s lacks an INV_X1 cell", lib.Name)
 	}
 	m := &mapper{g: g, lib: lib, probe: probe, inv: inv, objective: obj}
-	m.cuts = newCutEnum(g, 3, 8, probe)
+	m.cuts = newCutEnum(g, 3, 8, probe, pool)
 	m.fanout = g.FanoutCounts()
 	nv := g.NumVars()
 	m.impls[0] = make([]nodeImpl, nv)
@@ -160,7 +168,7 @@ func (m *mapper) mapNode(v int) {
 		if n == 1 && int(cut.Leaves[0]) == v {
 			continue // trivial cut
 		}
-		tt := cutTT(m.g, v, cut.Leaves, m.probe)
+		tt := cutTT(m.g, v, cut.Leaves, m.probe, &m.tts)
 		// Try every leaf-polarity adjustment: complementing leaf i
 		// swaps its cofactors in the table.
 		for pm := uint8(0); pm < 1<<uint(n); pm++ {

@@ -1,0 +1,85 @@
+package synth
+
+import (
+	"reflect"
+	"testing"
+
+	"edacloud/internal/designs"
+	"edacloud/internal/netlist"
+	"edacloud/internal/par"
+	"edacloud/internal/perf"
+	"edacloud/internal/techlib"
+)
+
+// TestCutEnumDeterministicAcrossWorkers: the level-parallel cut
+// enumeration must produce exactly the cut lists of a 1-worker run —
+// and, because probe shards are statically assigned, exactly the same
+// simulated counters — at 1, 2 and 8 workers.
+func TestCutEnumDeterministicAcrossWorkers(t *testing.T) {
+	g := designs.MustBenchmark("cavlc", 0.25)
+	run := func(workers int) ([][]Cut, perf.Counters) {
+		probe := perf.NewProbe(perf.DefaultProbeConfig())
+		ce := newCutEnum(g, 3, 8, probe, par.Fixed(workers))
+		return ce.cuts, probe.Counters()
+	}
+	wantCuts, wantCounters := run(1)
+	for _, w := range []int{2, 8} {
+		cuts, counters := run(w)
+		if !reflect.DeepEqual(cuts, wantCuts) {
+			t.Fatalf("workers=%d: cut lists differ from serial", w)
+		}
+		if counters != wantCounters {
+			t.Fatalf("workers=%d: counters %+v, want %+v", w, counters, wantCounters)
+		}
+	}
+}
+
+// TestSynthesizeDeterministicAcrossWorkers: the full synthesis flow
+// (recipe passes + mapping over parallel cut enumeration) must emit an
+// identical netlist for every worker count.
+func TestSynthesizeDeterministicAcrossWorkers(t *testing.T) {
+	lib := techlib.Default14nm()
+	g := designs.MustBenchmark("int2float", 0.5)
+	recipe, err := RecipeByName("resyn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) *netlist.Netlist {
+		res, err := Synthesize(g.Clone(), lib, Options{Recipe: recipe, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res.Netlist
+	}
+	want := run(1)
+	for _, w := range []int{2, 8} {
+		if got := run(w); !reflect.DeepEqual(got, want) {
+			gs, ws := got.Stats(), want.Stats()
+			t.Fatalf("workers=%d: netlist differs from serial (%+v vs %+v)", w, gs, ws)
+		}
+	}
+}
+
+// TestLeafHashDistinguishesCuts guards the FNV dedup key against the
+// obvious aliasing mistakes (permuted and shifted leaf sets).
+func TestLeafHashDistinguishesCuts(t *testing.T) {
+	cases := [][]int32{
+		{1, 2, 3},
+		{1, 2, 4},
+		{2, 3},
+		{3, 2, 1},
+		{1, 2},
+		{258, 3}, // byte-boundary alias of {2, 3} under naive folding
+	}
+	seen := map[uint64][]int32{}
+	for _, c := range cases {
+		h := leafHash(c)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("hash collision: %v and %v", prev, c)
+		}
+		seen[h] = c
+	}
+	if leafHash([]int32{1, 2, 3}) != leafHash([]int32{1, 2, 3}) {
+		t.Fatal("hash not stable")
+	}
+}

@@ -2,6 +2,7 @@ package synth
 
 import (
 	"edacloud/internal/aig"
+	"edacloud/internal/par"
 	"edacloud/internal/perf"
 )
 
@@ -12,27 +13,40 @@ import (
 // strashing included) wins. Dead logic left behind by replaced
 // realizations is swept at the end.
 func Rewrite(g *aig.Graph, probe *perf.Probe) *aig.Graph {
-	return rebuildWithCuts(g, probe, 4, 6, 2, brRewriteGain)
+	return rewritePool(g, probe, par.Default())
+}
+
+// rewritePool is Rewrite with an explicit worker pool for its cut
+// enumeration.
+func rewritePool(g *aig.Graph, probe *perf.Probe, pool *par.Pool) *aig.Graph {
+	return rebuildWithCuts(g, probe, pool, 4, 6, 2, brRewriteGain)
 }
 
 // Refactor is Rewrite with one large cut per node (up to 6 leaves),
 // the classical coarse-grained companion pass: it collapses bigger
 // cones and resynthesizes them from their ISOP factorization.
 func Refactor(g *aig.Graph, probe *perf.Probe) *aig.Graph {
-	return rebuildWithCuts(g, probe, 6, 4, 1, brRefactorGain)
+	return refactorPool(g, probe, par.Default())
+}
+
+// refactorPool is Refactor with an explicit worker pool for its cut
+// enumeration.
+func refactorPool(g *aig.Graph, probe *perf.Probe, pool *par.Pool) *aig.Graph {
+	return rebuildWithCuts(g, probe, pool, 6, 4, 1, brRefactorGain)
 }
 
 // rebuildWithCuts reconstructs g node by node, trying up to tryCuts
 // non-trivial cuts of size <= k per node and keeping the cheapest
 // realization.
-func rebuildWithCuts(g *aig.Graph, probe *perf.Probe, k, maxCuts, tryCuts int, brSite uint64) *aig.Graph {
+func rebuildWithCuts(g *aig.Graph, probe *perf.Probe, pool *par.Pool, k, maxCuts, tryCuts int, brSite uint64) *aig.Graph {
 	ng := aig.New(g.Name)
 	old2new := make([]aig.Lit, g.NumVars())
 	old2new[0] = aig.False
 	for i, v := range g.InputVars() {
 		old2new[v] = ng.AddInput(g.InputName(i))
 	}
-	cuts := newCutEnum(g, k, maxCuts, probe)
+	cuts := newCutEnum(g, k, maxCuts, probe, pool)
+	var tts ttScratch
 	// Fresh node records are compulsory misses, one cache line per four
 	// 16-byte records.
 	coldCredit := 0
@@ -84,7 +98,7 @@ func rebuildWithCuts(g *aig.Graph, probe *perf.Probe, k, maxCuts, tryCuts int, b
 				continue
 			}
 			tried++
-			tt := cutTT(g, v, cut.Leaves, probe)
+			tt := cutTT(g, v, cut.Leaves, probe, &tts)
 			// ISOP extraction recurses over cofactors; its cost is the
 			// bulk of a resynthesis attempt.
 			probe.Ops(280)

@@ -5,6 +5,7 @@ import (
 
 	"edacloud/internal/aig"
 	"edacloud/internal/netlist"
+	"edacloud/internal/par"
 	"edacloud/internal/perf"
 	"edacloud/internal/techlib"
 )
@@ -70,14 +71,14 @@ func RecipeByName(name string) (Recipe, error) {
 }
 
 // runPass dispatches one optimization pass.
-func runPass(g *aig.Graph, p PassKind, probe *perf.Probe) (*aig.Graph, error) {
+func runPass(g *aig.Graph, p PassKind, probe *perf.Probe, pool *par.Pool) (*aig.Graph, error) {
 	switch p {
 	case PassBalance:
 		return Balance(g, probe), nil
 	case PassRewrite:
-		return Rewrite(g, probe), nil
+		return rewritePool(g, probe, pool), nil
 	case PassRefactor:
-		return Refactor(g, probe), nil
+		return refactorPool(g, probe, pool), nil
 	}
 	return nil, fmt.Errorf("synth: unknown pass %v", p)
 }
@@ -85,9 +86,15 @@ func runPass(g *aig.Graph, p PassKind, probe *perf.Probe) (*aig.Graph, error) {
 // Optimize applies a recipe to the AIG, recording one perf phase per
 // pass into report when probe and report are non-nil.
 func Optimize(g *aig.Graph, recipe Recipe, probe *perf.Probe, report *perf.Report) (*aig.Graph, error) {
+	return optimize(g, recipe, probe, report, par.Default())
+}
+
+// optimize is Optimize with an explicit worker pool for the passes'
+// cut enumeration.
+func optimize(g *aig.Graph, recipe Recipe, probe *perf.Probe, report *perf.Report, pool *par.Pool) (*aig.Graph, error) {
 	cur := g
 	for _, p := range recipe.Passes {
-		next, err := runPass(cur, p, probe)
+		next, err := runPass(cur, p, probe, pool)
 		if err != nil {
 			return nil, err
 		}
@@ -121,6 +128,10 @@ type Options struct {
 	Objective MapObjective
 	// Probe receives performance events; nil runs uninstrumented.
 	Probe *perf.Probe
+	// Workers bounds the worker pool for the recipe passes' and the
+	// mapper's intra-level cut enumeration; 0 means GOMAXPROCS.
+	// Results are identical for every value.
+	Workers int
 }
 
 // Result bundles the outputs of a synthesis run.
@@ -139,11 +150,12 @@ func Synthesize(g *aig.Graph, lib *techlib.Library, opts Options) (*Result, erro
 	report := &perf.Report{Job: "synthesis"}
 	probe := opts.Probe
 
-	opt, err := Optimize(g, opts.Recipe, probe, report)
+	pool := par.Fixed(opts.Workers)
+	opt, err := optimize(g, opts.Recipe, probe, report, pool)
 	if err != nil {
 		return nil, err
 	}
-	nl, err := MapToCellsObjective(opt, lib, opts.RegisterOutputs, opts.Objective, probe)
+	nl, err := mapToCells(opt, lib, opts.RegisterOutputs, opts.Objective, probe, pool)
 	if err != nil {
 		return nil, err
 	}

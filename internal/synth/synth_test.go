@@ -114,7 +114,7 @@ func TestIsopSimpleFunctions(t *testing.T) {
 
 func TestCutEnumLeafBounds(t *testing.T) {
 	g := designs.MustBenchmark("adder", 0.0625)
-	ce := newCutEnum(g, 4, 8, nil)
+	ce := newCutEnum(g, 4, 8, nil, nil)
 	count := 0
 	g.TopoAnds(func(v int, _, _ aig.Lit) {
 		for _, c := range ce.Cuts(v) {
@@ -142,7 +142,7 @@ func TestCutTTMatchesSimulation(t *testing.T) {
 	x := g.And(a, b.Not())
 	y := g.And(x, c)
 	_ = y
-	tt := cutTT(g, y.Var(), []int32{int32(a.Var()), int32(b.Var()), int32(c.Var())}, nil)
+	tt := cutTT(g, y.Var(), []int32{int32(a.Var()), int32(b.Var()), int32(c.Var())}, nil, new(ttScratch))
 	// y = a & !b & c
 	want := ttVar(0, 3) & ttNot(ttVar(1, 3), 3) & ttVar(2, 3)
 	if tt != want {
