@@ -12,6 +12,7 @@
 package edacloud
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -22,6 +23,7 @@ import (
 	"edacloud/internal/cloud"
 	"edacloud/internal/core"
 	"edacloud/internal/designs"
+	"edacloud/internal/flow"
 	"edacloud/internal/gcn"
 	"edacloud/internal/ints"
 	"edacloud/internal/mat"
@@ -317,12 +319,12 @@ func BenchmarkAblationCacheConfig(b *testing.B) {
 		}
 		for _, slices := range []int{1, 2, 4, 8, 16} {
 			probeP := core.NewJobProbe(slices, estCells)
-			if _, _, err := place.Place(sres.Netlist, place.Options{Probe: probeP}); err != nil {
+			if _, _, err := place.Place(sres.Netlist, place.Options{StageConfig: par.StageConfig{Probe: probeP}}); err != nil {
 				b.Fatal(err)
 			}
 			cp := probeP.Counters()
 			probeR := core.NewJobProbe(slices, estCells)
-			if _, _, err := route.Route(sres.Netlist, pl, route.Options{Probe: probeR}); err != nil {
+			if _, _, err := route.Route(sres.Netlist, pl, route.Options{StageConfig: par.StageConfig{Probe: probeR}}); err != nil {
 				b.Fatal(err)
 			}
 			cr := probeR.Counters()
@@ -352,7 +354,7 @@ func BenchmarkAblationRouterSerial(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, workers := range []int{1, 8} {
-			res, _, err := route.Route(sres.Netlist, pl, route.Options{Workers: workers})
+			res, _, err := route.Route(sres.Netlist, pl, route.Options{StageConfig: par.StageConfig{Workers: workers}})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -572,7 +574,7 @@ func BenchmarkParSpeedupSynthesize(b *testing.B) {
 	recipe, _ := synth.RecipeByName("resyn2")
 	run := func(workers int) time.Duration {
 		start := time.Now()
-		if _, err := synth.Synthesize(g.Clone(), benchLib, synth.Options{Recipe: recipe, Workers: workers}); err != nil {
+		if _, err := synth.Synthesize(g.Clone(), benchLib, synth.Options{Recipe: recipe, StageConfig: par.StageConfig{Workers: workers}}); err != nil {
 			b.Fatal(err)
 		}
 		return time.Since(start)
@@ -581,5 +583,45 @@ func BenchmarkParSpeedupSynthesize(b *testing.B) {
 		serial := run(1)
 		parallel := run(0)
 		reportParSpeedup(b, i == 0, "synthesize", serial, parallel)
+	}
+}
+
+// BenchmarkSchedulerThroughput is the smoke benchmark of the
+// multi-job flow scheduler: a batch of independent flow jobs, one
+// simulated cloud instance each, fanned out across the host's cores.
+// It prints jobs/sec and the core count so CI runs are
+// self-describing; aggregate cost/deadline results are identical for
+// any worker count (see flow's determinism test).
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	catalog := cloud.DefaultCatalog()
+	inst, err := catalog.Size(cloud.MemoryOptimized, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var jobs []flow.Job
+	for _, name := range []string{"dyn_node", "aes", "ibex", "jpeg"} {
+		g := designs.MustEvalDesign(name, benchScale)
+		jobs = append(jobs, flow.Job{
+			Name: name, Design: g, Lib: benchLib,
+			Instance: inst, WorkScale: 2e4,
+		})
+	}
+	sched := &flow.Scheduler{}
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		res, err := sched.Run(context.Background(), jobs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Failed > 0 {
+			b.Fatalf("%d jobs failed", res.Failed)
+		}
+		elapsed := time.Since(start)
+		rate := float64(len(jobs)) / elapsed.Seconds()
+		b.ReportMetric(rate, "jobs/s")
+		if i == 0 {
+			fmt.Printf("\nSchedulerThroughput cores=%d jobs=%d wall=%v rate=%.2f jobs/s cost=$%.4f\n",
+				runtime.GOMAXPROCS(0), len(jobs), elapsed.Round(time.Millisecond), rate, res.TotalCostUSD)
+		}
 	}
 }

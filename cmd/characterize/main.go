@@ -25,10 +25,11 @@ func main() {
 	design := flag.String("design", "sparc_core", "evaluation design for Fig. 2 (dyn_node..sparc_core)")
 	scale := flag.Float64("scale", 0.03, "design scale factor (1 = full size; keep small for quick runs)")
 	figure := flag.String("figure", "all", "which figure to regenerate: 2a, 2b, 2c, 2d, 3, or all")
+	workers := flag.Int("workers", 0, "bound for the per-VM-config fan-out and kernel pools (0 = all cores; results identical)")
 	flag.Parse()
 
 	lib := techlib.Default14nm()
-	opts := core.CharacterizeOptions{Scale: *scale}
+	opts := core.CharacterizeOptions{Scale: *scale, Workers: *workers}
 
 	want := func(f string) bool { return *figure == "all" || *figure == f }
 

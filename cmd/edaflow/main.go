@@ -1,23 +1,29 @@
-// Command edaflow runs the full four-stage EDA flow — synthesis,
-// placement, routing, static timing — on one design and prints the
-// artifacts each stage produces, plus (optionally) the per-stage
-// performance profile under a chosen VM configuration.
+// Command edaflow runs an EDA flow — synthesis, placement, routing,
+// static timing — on one design through the composable flow.Pipeline
+// API, streaming per-stage progress, and prints the artifacts each
+// stage produces plus (optionally) the per-stage performance profile
+// under a chosen VM configuration.
 //
 // Usage:
 //
 //	edaflow -design ibex -scale 0.05 -recipe resyn2 -vcpus 4
 //	edaflow -bench multiplier -scale 0.2
+//	edaflow -design ibex -stages synthesis,sta
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"edacloud/internal/aig"
-	"edacloud/internal/core"
 	"edacloud/internal/designs"
+	"edacloud/internal/flow"
 	"edacloud/internal/perf"
+	"edacloud/internal/place"
+	"edacloud/internal/route"
+	"edacloud/internal/sta"
 	"edacloud/internal/synth"
 	"edacloud/internal/techlib"
 )
@@ -30,6 +36,8 @@ func main() {
 	vcpus := flag.Int("vcpus", 4, "VM vCPU count for the performance profile")
 	registers := flag.Bool("registers", false, "register all primary outputs behind DFFs")
 	clock := flag.Float64("clock", 1.0, "clock period for STA (ns)")
+	stages := flag.String("stages", "", "comma-separated partial flow (e.g. synthesis,sta); empty runs the full flow")
+	workers := flag.Int("workers", 0, "worker-pool bound for every stage (0 = all cores; results identical)")
 	flag.Parse()
 
 	var g *aig.Graph
@@ -50,41 +58,93 @@ func main() {
 		fail(err)
 	}
 
-	fmt.Printf("Design %s: %v\n", g.Name, g.Stats())
+	fmt.Printf("Design %s: %v\n\n", g.Name, g.Stats())
 
 	lib := techlib.Default14nm()
-	estCells := core.EstimateCells(g.NumAnds())
-	flow, err := core.RunFlow(g, lib, core.FlowOptions{
-		Recipe:          recipe,
-		RegisterOutputs: *registers,
-		ClockPeriodNs:   *clock,
-		NewProbe: func(core.JobKind) *perf.Probe {
-			return core.NewJobProbe(*vcpus, estCells)
-		},
-	})
+	estCells := flow.EstimateCells(g.NumAnds())
+	opts := []flow.Option{
+		flow.WithRecipe(recipe),
+		flow.WithRegisterOutputs(*registers),
+		flow.WithClockPeriodNs(*clock),
+		flow.WithWorkers(*workers),
+		flow.WithNewProbe(func(flow.JobKind) *perf.Probe {
+			return flow.NewJobProbe(*vcpus, estCells)
+		}),
+		flow.WithEvents(func(e flow.Event) {
+			switch e.Type {
+			case flow.StageStarted:
+				fmt.Printf("[%d/%d] %s...\n", e.Index+1, e.Total, e.Stage)
+			case flow.StageFinished:
+				if e.Err != nil {
+					fmt.Printf("[%d/%d] %s failed: %v\n", e.Index+1, e.Total, e.Stage, e.Err)
+				}
+			}
+		}),
+	}
+	if list := partialStages(*stages, recipe, *registers, *clock); list != nil {
+		opts = append(opts, flow.WithStages(list...))
+	}
+
+	rc, err := flow.NewPipeline(opts...).Run(g, lib)
 	if err != nil {
 		fail(err)
 	}
 
-	fmt.Printf("\nSynthesis  (%s): %v -> %s\n", recipe.Name, flow.Optimized.Stats(), flow.Netlist.Stats())
-	fmt.Printf("Placement  : die %.1f x %.1f um, HPWL %.1f um (global %.1f), overflow %.3f\n",
-		flow.Placement.DieW, flow.Placement.DieH, flow.Placement.HPWL,
-		flow.Placement.HPWLGlobal, flow.Placement.Overflow)
-	fmt.Printf("Routing    : grid %dx%d, %d connections, wirelength %d, overflow %d, %d RRR iters\n",
-		flow.Routing.GridW, flow.Routing.GridH, flow.Routing.Connections,
-		flow.Routing.Wirelength, flow.Routing.Overflow, flow.Routing.Iterations)
-	fmt.Printf("STA        : max arrival %.3f ns, WNS %.3f ns, TNS %.3f ns over %d endpoints\n",
-		flow.Timing.MaxArrival, flow.Timing.WNS, flow.Timing.TNS, flow.Timing.Endpoints)
-	fmt.Printf("Critical path: %d cells\n", len(flow.Timing.CriticalPath))
+	fmt.Println()
+	if rc.Netlist != nil {
+		fmt.Printf("Synthesis  (%s): %v -> %s\n", recipe.Name, rc.Optimized.Stats(), rc.Netlist.Stats())
+	}
+	if rc.Placement != nil {
+		fmt.Printf("Placement  : die %.1f x %.1f um, HPWL %.1f um (global %.1f), overflow %.3f\n",
+			rc.Placement.DieW, rc.Placement.DieH, rc.Placement.HPWL,
+			rc.Placement.HPWLGlobal, rc.Placement.Overflow)
+	}
+	if rc.Routing != nil {
+		fmt.Printf("Routing    : grid %dx%d, %d connections, wirelength %d, overflow %d, %d RRR iters\n",
+			rc.Routing.GridW, rc.Routing.GridH, rc.Routing.Connections,
+			rc.Routing.Wirelength, rc.Routing.Overflow, rc.Routing.Iterations)
+	}
+	if rc.Timing != nil {
+		fmt.Printf("STA        : max arrival %.3f ns, WNS %.3f ns, TNS %.3f ns over %d endpoints\n",
+			rc.Timing.MaxArrival, rc.Timing.WNS, rc.Timing.TNS, rc.Timing.Endpoints)
+		fmt.Printf("Critical path: %d cells\n", len(rc.Timing.CriticalPath))
+	}
 
 	fmt.Printf("\nPerformance profile at %d vCPUs:\n", *vcpus)
 	m := perf.Xeon14(*vcpus)
-	for _, k := range core.JobKinds() {
-		rep := flow.Reports[k]
+	for _, k := range flow.JobKinds() {
+		rep := rc.Reports[k]
+		if rep == nil {
+			continue
+		}
 		c := rep.Total()
 		fmt.Printf("  %-10s %12d instr, %6.2f%% br-miss, %5.1f%% cache-miss, %5.1f%% AVX, %.4fs\n",
 			k, c.Instrs, c.BranchMissPct(), c.CacheMissPct(), c.FPVectorPct(), m.Seconds(rep))
 	}
+}
+
+// partialStages translates the -stages flag into a stage list; nil
+// means the full default flow.
+func partialStages(spec string, recipe synth.Recipe, registers bool, clock float64) []flow.Stage {
+	if spec == "" {
+		return nil
+	}
+	var out []flow.Stage
+	for _, name := range strings.Split(spec, ",") {
+		switch strings.TrimSpace(name) {
+		case "synthesis":
+			out = append(out, flow.Synthesis(synth.Options{Recipe: recipe, RegisterOutputs: registers}))
+		case "placement":
+			out = append(out, flow.Placement(place.Options{}))
+		case "routing":
+			out = append(out, flow.Routing(route.Options{}))
+		case "sta":
+			out = append(out, flow.STA(sta.Options{ClockPeriodNs: clock}))
+		default:
+			fail(fmt.Errorf("unknown stage %q (want synthesis, placement, routing, sta)", name))
+		}
+	}
+	return out
 }
 
 func fail(err error) {

@@ -30,6 +30,7 @@ func main() {
 	figure6 := flag.Bool("figure6", false, "regenerate Figure 6")
 	deadlineList := flag.String("deadlines", "", "comma-separated deadline seconds for Table I (default: derived from the design)")
 	slack := flag.Float64("slack", 1.1, "Figure 6 deadline as a multiple of the fastest schedule")
+	workers := flag.Int("workers", 0, "bound for the characterization fan-out and kernel pools (0 = all cores; results identical)")
 	flag.Parse()
 
 	if !*table1 && !*figure6 {
@@ -39,7 +40,7 @@ func main() {
 
 	lib := techlib.Default14nm()
 	catalog := cloud.DefaultCatalog()
-	opts := core.CharacterizeOptions{Scale: *scale}
+	opts := core.CharacterizeOptions{Scale: *scale, Workers: *workers}
 
 	if *table1 {
 		prob := buildProblem(lib, catalog, *design, opts)

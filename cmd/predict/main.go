@@ -37,6 +37,7 @@ func main() {
 	testFrac := flag.Float64("test", 0.2, "held-out design fraction")
 	seed := flag.Int64("seed", 1, "split and init seed")
 	bins := flag.Int("bins", 12, "error histogram bins")
+	workers := flag.Int("workers", 0, "bound for the per-(benchmark, recipe) flow fan-out (0 = all cores; dataset identical)")
 	flag.Parse()
 
 	lib := techlib.Default14nm()
@@ -52,6 +53,7 @@ func main() {
 		Benchmarks: names,
 		Recipes:    synth.StandardRecipes[:nRecipes],
 		Scale:      *scale,
+		Workers:    *workers,
 	})
 	if err != nil {
 		fail(err)

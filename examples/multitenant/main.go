@@ -1,19 +1,27 @@
 // Multi-tenant study: the paper characterizes EDA jobs inside Linux
-// control groups to emulate cloud multi-tenancy. This example runs the
-// same experiment with the cgroup scheduler model: one routing job
-// confined to a quota while noisy neighbours of growing demand share
-// the 14-core host, showing how interference stretches the job's
-// runtime — the risk the paper's VM recommendations guard against.
+// control groups to emulate cloud multi-tenancy. Part one runs that
+// experiment with the cgroup scheduler model: one routing job confined
+// to a quota while noisy neighbours of growing demand share the
+// 14-core host, showing how interference stretches the job's runtime —
+// the risk the paper's VM recommendations guard against.
+//
+// Part two runs the deployment the paper actually optimizes for: a
+// batch of independent design flows scheduled concurrently onto their
+// own cloud instances with flow.Scheduler, each with a deadline, the
+// batch accumulating a per-second bill.
 //
 //	go run ./examples/multitenant
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"edacloud/internal/cloud"
 	"edacloud/internal/core"
+	"edacloud/internal/designs"
+	"edacloud/internal/flow"
 	"edacloud/internal/techlib"
 )
 
@@ -57,4 +65,51 @@ func main() {
 	}
 	fmt.Println("\nWeighted fair sharing (cpu.shares) splits the host; quotas cap the job.")
 	fmt.Println("Dedicated (single-tenant) instances avoid the stretch entirely.")
+
+	// Part two: four tenants' flows as one concurrently scheduled batch,
+	// each on its own rented instance. Dedicated VMs mean zero
+	// interference; the shared-host column above is what each tenant
+	// escapes by paying for isolation.
+	catalog := cloud.DefaultCatalog()
+	inst, err := catalog.Size(cloud.MemoryOptimized, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var jobs []flow.Job
+	for _, name := range []string{"dyn_node", "aes", "ibex", "jpeg"} {
+		g, err := designs.EvalDesign(name, 0.02)
+		if err != nil {
+			log.Fatal(err)
+		}
+		jobs = append(jobs, flow.Job{
+			Name:     name,
+			Design:   g,
+			Lib:      lib,
+			Instance: inst,
+			// Extrapolate the reduced-scale simulation to full-flow
+			// magnitudes (the dataset generator's representative factor)
+			// and require each block inside a shared batch deadline.
+			WorkScale:   2e4,
+			DeadlineSec: 70,
+		})
+	}
+	sched, err := (&flow.Scheduler{}).Run(context.Background(), jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nScheduled batch: %d flows on dedicated %s instances\n\n", len(sched.Jobs), inst.Name)
+	fmt.Printf("%-12s %10s %10s %10s\n", "design", "runtime", "cost ($)", "deadline")
+	for _, j := range sched.Jobs {
+		if j.Err != nil {
+			log.Fatal(j.Err)
+		}
+		status := "met"
+		if !j.DeadlineMet {
+			status = "MISSED"
+		}
+		fmt.Printf("%-12s %9.0fs %10.4f %10s\n", j.Name, j.Seconds, j.CostUSD, status)
+	}
+	fmt.Printf("\nBatch: $%.4f total, makespan %.0fs, %d deadline(s) missed\n",
+		sched.TotalCostUSD, sched.MakespanSec, sched.DeadlinesMissed)
 }

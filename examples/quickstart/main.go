@@ -1,5 +1,6 @@
-// Quickstart: generate a design, run the full EDA flow on it, and ask
-// the deployment optimizer which cloud machines to rent for a deadline.
+// Quickstart: generate a design, run the full EDA flow on it through
+// the composable pipeline API, and ask the deployment optimizer which
+// cloud machines to rent for a deadline.
 //
 //	go run ./examples/quickstart
 package main
@@ -10,15 +11,34 @@ import (
 
 	"edacloud/internal/cloud"
 	"edacloud/internal/core"
+	"edacloud/internal/designs"
+	"edacloud/internal/flow"
 	"edacloud/internal/techlib"
 )
 
 func main() {
 	lib := techlib.Default14nm()
 
-	// 1. Characterize the four EDA jobs of a design under 1/2/4/8 vCPUs.
-	//    (ibex is the paper's small RISC-V core; scale shrinks it so this
-	//    example finishes in seconds.)
+	// 0. Run the flow once with the pipeline API. (ibex is the paper's
+	//    small RISC-V core; scale shrinks it so this example finishes in
+	//    seconds.) Stages stream progress events as they run.
+	g, err := designs.EvalDesign("ibex", 0.03)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := flow.NewPipeline(flow.WithEvents(func(e flow.Event) {
+		if e.Type == flow.StageStarted {
+			fmt.Printf("running %s (%d/%d)\n", e.Stage, e.Index+1, e.Total)
+		}
+	}))
+	rc, err := p.Run(g, lib)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("flow done: %d cells, WNS %.3f ns\n\n", rc.Netlist.NumCells(), rc.Timing.WNS)
+
+	// 1. Characterize the four EDA jobs of the design under 1/2/4/8
+	//    vCPUs (each configuration profiles its own pipeline run).
 	char, err := core.CharacterizeEval(lib, "ibex", core.CharacterizeOptions{Scale: 0.03})
 	if err != nil {
 		log.Fatal(err)

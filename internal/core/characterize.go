@@ -6,6 +6,7 @@ import (
 
 	"edacloud/internal/cloud"
 	"edacloud/internal/designs"
+	"edacloud/internal/flow"
 	"edacloud/internal/ints"
 	"edacloud/internal/par"
 	"edacloud/internal/perf"
@@ -60,49 +61,15 @@ func (o CharacterizeOptions) withDefaults() CharacterizeOptions {
 }
 
 // NewJobProbe builds the per-job instrumentation for a VM of the given
-// vCPU count profiling a design of roughly estCells instances. Cache
-// capacities are sized relative to the design — 2.5 bytes of LLC slice
-// per cell, mirroring the paper testbed's ratio of a 200k-instance
-// design to a 2.5 MiB-per-core LLC — so working-set-to-cache ratios
-// (the quantity behind Fig. 2b) carry over from full-size runs to the
-// reduced-scale simulation. The LLC gets one slice per vCPU, which is
-// how cloud VMs inherit cache, and each engine's bounded hot window is
-// half a slice.
+// vCPU count profiling a design of roughly estCells instances; see
+// flow.NewJobProbe for the sizing rationale.
 func NewJobProbe(vcpus, estCells int) *perf.Probe {
-	cfg := perf.DefaultProbeConfig()
-	slice := estCells * 5 / 2
-	if slice < 4<<10 {
-		slice = 4 << 10
-	}
-	if slice > 8<<20 {
-		slice = 8 << 20
-	}
-	cfg.LLCBytes = slice
-	l1 := slice / 8
-	if l1 < 512 {
-		l1 = 512
-	}
-	if l1 > 32<<10 {
-		l1 = 32 << 10
-	}
-	cfg.L1Bytes = l1
-	cfg = cfg.WithLLCSlices(vcpus)
-	p := perf.NewProbe(cfg)
-	// Three hot regions per engine must together fit one LLC slice, as
-	// real working windows fit a single core's cache.
-	p.HotBytes = uint64(slice / 6)
-	return p
+	return flow.NewJobProbe(vcpus, estCells)
 }
 
 // EstimateCells predicts mapped instance count from AIG size (the
 // mapper covers roughly two AND nodes per cell).
-func EstimateCells(ands int) int {
-	c := ands / 2
-	if c < 64 {
-		c = 64
-	}
-	return c
-}
+func EstimateCells(ands int) int { return flow.EstimateCells(ands) }
 
 // workScaleFor extrapolates simulated runtime to the full-size design.
 // EDA runtimes grow superlinearly in instance count (longer routes,
@@ -188,30 +155,31 @@ func CharacterizeEval(lib *techlib.Library, designName string, opts Characterize
 	// Fan the per-VM-config profiling runs out across real cores — the
 	// paper ran each configuration as its own cloud instance, and the
 	// runs share nothing: each profiles its own clone of the design
-	// (the AIG memoizes levels/fanouts lazily) with its own probes.
-	// All cross-config arithmetic (speedups vs the 1-vCPU base) happens
-	// after the barrier, in configuration order, so results are
-	// identical for any worker count.
+	// (the AIG memoizes levels/fanouts lazily) through its own pipeline
+	// with its own probes. All cross-config arithmetic (speedups vs the
+	// 1-vCPU base) happens after the barrier, in configuration order,
+	// so results are identical for any worker count.
 	type cfgRun struct {
-		flow         *FlowResult
+		rc           *flow.RunContext
 		interference float64
 		err          error
 	}
 	pool := par.Fixed(opts.Workers)
 	runs := par.Map(pool, len(opts.VCPUs), func(vi int) cfgRun {
 		vcpus := opts.VCPUs[vi]
-		flow, err := RunFlow(g.Clone(), lib, FlowOptions{
-			Recipe: opts.Recipe,
-			NewProbe: func(k JobKind) *perf.Probe {
+		p := flow.NewPipeline(
+			flow.WithRecipe(opts.Recipe),
+			flow.WithWorkers(opts.Workers),
+			flow.WithNewProbe(func(JobKind) *perf.Probe {
 				return NewJobProbe(vcpus, estCells)
-			},
-			Workers: opts.Workers,
-		})
+			}),
+		)
+		rc, err := p.Run(g.Clone(), lib)
 		if err != nil {
 			return cfgRun{err: err}
 		}
 		interference, err := opts.Host.Interference(float64(vcpus), opts.Background)
-		return cfgRun{flow: flow, interference: interference, err: err}
+		return cfgRun{rc: rc, interference: interference, err: err}
 	})
 
 	for vi, vcpus := range opts.VCPUs {
@@ -219,16 +187,15 @@ func CharacterizeEval(lib *techlib.Library, designName string, opts Characterize
 		if run.err != nil {
 			return nil, run.err
 		}
-		flow := run.flow
 		if out.Cells == 0 {
-			out.Cells = flow.Netlist.NumCells()
+			out.Cells = run.rc.Netlist.NumCells()
 			out.WorkScale = workScaleFor(spec.TargetInstances, out.Cells)
 		}
 		workScale := out.WorkScale
 
 		var row []JobProfile
 		for _, k := range JobKinds() {
-			report := flow.Reports[k]
+			report := run.rc.Reports[k]
 			c := report.Total()
 			m := machineFor(vcpus, true, run.interference, workScale)
 			secs := m.Seconds(report)
@@ -284,7 +251,7 @@ func RoutingSpeedupCurve(lib *techlib.Library, designName string, maxVCPUs int, 
 	points := par.Map(pool, maxVCPUs, func(vi int) curvePoint {
 		v := vi + 1
 		probe := NewJobProbe(v, estCells)
-		_, report, err := route.Route(sres.Netlist, pl, route.Options{Probe: probe})
+		_, report, err := route.Route(sres.Netlist, pl, route.Options{StageConfig: par.StageConfig{Probe: probe}})
 		if err != nil {
 			return curvePoint{err: err}
 		}

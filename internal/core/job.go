@@ -3,6 +3,11 @@
 // configurations, predict per-configuration runtimes for unseen
 // designs with the GCN model, and optimize cloud deployments with the
 // multi-choice knapsack solver so deadlines are met at minimum cost.
+//
+// Flow execution itself lives in internal/flow (Stage/Pipeline/
+// Scheduler); this package keeps thin compatibility wrappers —
+// RunFlow, NewJobProbe, the JobKind aliases — and layers the
+// characterization, prediction and optimization experiments on top.
 package core
 
 import (
@@ -10,6 +15,7 @@ import (
 
 	"edacloud/internal/aig"
 	"edacloud/internal/cloud"
+	"edacloud/internal/flow"
 	"edacloud/internal/netlist"
 	"edacloud/internal/perf"
 	"edacloud/internal/place"
@@ -20,34 +26,19 @@ import (
 )
 
 // JobKind identifies one of the four characterized EDA applications.
-type JobKind int
+// It is an alias of flow.JobKind so the two layers share one currency.
+type JobKind = flow.JobKind
 
 // The four applications of the paper's characterization.
 const (
-	JobSynthesis JobKind = iota
-	JobPlacement
-	JobRouting
-	JobSTA
+	JobSynthesis = flow.JobSynthesis
+	JobPlacement = flow.JobPlacement
+	JobRouting   = flow.JobRouting
+	JobSTA       = flow.JobSTA
 )
 
 // JobKinds lists all four in flow order.
-func JobKinds() []JobKind {
-	return []JobKind{JobSynthesis, JobPlacement, JobRouting, JobSTA}
-}
-
-func (k JobKind) String() string {
-	switch k {
-	case JobSynthesis:
-		return "synthesis"
-	case JobPlacement:
-		return "placement"
-	case JobRouting:
-		return "routing"
-	case JobSTA:
-		return "sta"
-	}
-	return fmt.Sprintf("job(%d)", int(k))
-}
+func JobKinds() []JobKind { return flow.JobKinds() }
 
 // RecommendedFamily returns the paper's instance-family recommendation
 // (Sec. III.A takeaways): synthesis and STA on general-purpose VMs,
@@ -89,54 +80,34 @@ type FlowResult struct {
 	Reports   map[JobKind]*perf.Report
 }
 
+// pipelineFor translates FlowOptions to the flow.Pipeline options of
+// the equivalent full flow.
+func pipelineFor(opts FlowOptions) *flow.Pipeline {
+	return flow.NewPipeline(
+		flow.WithRecipe(opts.Recipe),
+		flow.WithRegisterOutputs(opts.RegisterOutputs),
+		flow.WithClockPeriodNs(opts.ClockPeriodNs),
+		flow.WithWorkers(opts.Workers),
+		flow.WithStageWorkers(flow.JobRouting, opts.RouteWorkers),
+		flow.WithNewProbe(opts.NewProbe),
+	)
+}
+
 // RunFlow executes synthesis, placement, routing and STA on the design
-// and returns all artifacts plus one performance report per job.
+// and returns all artifacts plus one performance report per job. It is
+// a compatibility wrapper over the flow package's default pipeline;
+// new code should build a flow.Pipeline directly.
 func RunFlow(g *aig.Graph, lib *techlib.Library, opts FlowOptions) (*FlowResult, error) {
-	probeFor := opts.NewProbe
-	if probeFor == nil {
-		probeFor = func(JobKind) *perf.Probe { return nil }
-	}
-	out := &FlowResult{Reports: map[JobKind]*perf.Report{}}
-
-	sres, err := synth.Synthesize(g, lib, synth.Options{
-		Recipe:          opts.Recipe,
-		RegisterOutputs: opts.RegisterOutputs,
-		Probe:           probeFor(JobSynthesis),
-		Workers:         opts.Workers,
-	})
+	rc, err := pipelineFor(opts).Run(g, lib)
 	if err != nil {
-		return nil, fmt.Errorf("core: synthesis: %w", err)
+		return nil, fmt.Errorf("core: %w", err)
 	}
-	out.Optimized = sres.Optimized
-	out.Netlist = sres.Netlist
-	out.Reports[JobSynthesis] = sres.Report
-
-	pl, preport, err := place.Place(out.Netlist, place.Options{Probe: probeFor(JobPlacement), Workers: opts.Workers})
-	if err != nil {
-		return nil, fmt.Errorf("core: placement: %w", err)
-	}
-	out.Placement = pl
-	out.Reports[JobPlacement] = preport
-
-	rres, rreport, err := route.Route(out.Netlist, pl, route.Options{
-		Probe:   probeFor(JobRouting),
-		Workers: opts.RouteWorkers,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: routing: %w", err)
-	}
-	out.Routing = rres
-	out.Reports[JobRouting] = rreport
-
-	tres, treport, err := sta.Analyze(out.Netlist, pl, sta.Options{
-		ClockPeriodNs: opts.ClockPeriodNs,
-		Probe:         probeFor(JobSTA),
-		Workers:       opts.Workers,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: sta: %w", err)
-	}
-	out.Timing = tres
-	out.Reports[JobSTA] = treport
-	return out, nil
+	return &FlowResult{
+		Optimized: rc.Optimized,
+		Netlist:   rc.Netlist,
+		Placement: rc.Placement,
+		Routing:   rc.Routing,
+		Timing:    rc.Timing,
+		Reports:   rc.Reports,
+	}, nil
 }

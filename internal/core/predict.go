@@ -6,9 +6,12 @@ import (
 	"math/rand"
 	"sort"
 
+	"edacloud/internal/aig"
 	"edacloud/internal/designs"
+	"edacloud/internal/flow"
 	"edacloud/internal/gcn"
 	"edacloud/internal/netlist"
+	"edacloud/internal/par"
 	"edacloud/internal/perf"
 	"edacloud/internal/synth"
 	"edacloud/internal/techlib"
@@ -28,6 +31,11 @@ type DatasetOptions struct {
 	Scale float64
 	// VCPUs lists the labeled machine configurations; nil = {1,2,4,8}.
 	VCPUs []int
+	// Workers bounds the fan-out of per-(benchmark, recipe) flow runs
+	// across real cores and the worker pools inside each flow's
+	// kernels; 0 means GOMAXPROCS. The dataset is identical for every
+	// value.
+	Workers int
 }
 
 // datasetWorkScale extrapolates benchmark-scale runtimes to full-flow
@@ -86,6 +94,13 @@ func (d *Dataset) NumLabels() int {
 // plus runtime labels. Synthesis samples use the AIG graph (the paper
 // runs the synthesis predictor on the AIG); placement, routing and STA
 // samples use the mapped netlist's star graph.
+//
+// The per-(benchmark, recipe) flow runs fan out across real cores with
+// the same shape as CharacterizeEval's per-VM-config sweep: the units
+// share nothing (each regenerates its benchmark and runs its own
+// pipelines with its own probes) and the dataset is assembled after
+// the barrier in benchmark-then-recipe order, so it is identical for
+// any worker count.
 func BuildDataset(lib *techlib.Library, opts DatasetOptions) (*Dataset, error) {
 	opts = opts.withDefaults()
 	ds := &Dataset{
@@ -93,44 +108,73 @@ func BuildDataset(lib *techlib.Library, opts DatasetOptions) (*Dataset, error) {
 		VCPUs:   opts.VCPUs,
 		Designs: opts.Benchmarks,
 	}
-	for _, bench := range opts.Benchmarks {
+	nRecipes := len(opts.Recipes)
+	type unitOut struct {
+		// The synthesis predictor consumes the *input* AIG (the paper:
+		// RTL is elaborated to an AIG before synthesis), so its graph
+		// is fixed per benchmark; recipes only produce the netlist
+		// variants the placement/routing/STA predictors train on. One
+		// synthesis sample per (benchmark, recipe pair) would pair one
+		// graph with conflicting labels, so synthesis is sampled once
+		// per benchmark under the first recipe, and only that unit
+		// builds inputAIG.
+		inputAIG *gcn.Graph
+		nlGraph  *gcn.Graph
+		runtimes map[JobKind][]float64
+		err      error
+	}
+	benchGraphs := make([]*aig.Graph, len(opts.Benchmarks))
+	for i, bench := range opts.Benchmarks {
 		g, err := designs.Benchmark(bench, opts.Scale)
 		if err != nil {
 			return nil, err
 		}
+		benchGraphs[i] = g
+	}
+	pool := par.Fixed(opts.Workers)
+	units := par.Map(pool, len(opts.Benchmarks)*nRecipes, func(u int) unitOut {
+		bench := opts.Benchmarks[u/nRecipes]
+		ri := u % nRecipes
+		recipe := opts.Recipes[ri]
+		// Clone per unit: the AIG memoizes levels/fanouts lazily, so
+		// concurrent units must not share one graph.
+		g := benchGraphs[u/nRecipes].Clone()
+		out := unitOut{runtimes: map[JobKind][]float64{}}
+		if ri == 0 {
+			out.inputAIG = gcn.FromStarGraph(netlist.AIGGraph(g))
+		}
 		estCells := EstimateCells(g.NumAnds())
-		// The synthesis predictor consumes the *input* AIG (the paper:
-		// RTL is elaborated to an AIG before synthesis), so its graph is
-		// fixed per benchmark; recipes only produce the netlist variants
-		// the placement/routing/STA predictors train on. One synthesis
-		// sample per (benchmark, recipe pair) would pair one graph with
-		// conflicting labels, so synthesis is sampled once per benchmark
-		// under the first recipe.
-		inputAIG := gcn.FromStarGraph(netlist.AIGGraph(g))
+		for _, v := range opts.VCPUs {
+			p := flow.NewPipeline(
+				flow.WithRecipe(recipe),
+				flow.WithWorkers(opts.Workers),
+				flow.WithNewProbe(func(JobKind) *perf.Probe {
+					return NewJobProbe(v, estCells)
+				}),
+			)
+			rc, err := p.Run(g, lib)
+			if err != nil {
+				return unitOut{err: fmt.Errorf("core: dataset %s/%s: %w", bench, recipe.Name, err)}
+			}
+			if out.nlGraph == nil {
+				out.nlGraph = gcn.FromStarGraph(rc.Netlist.StarGraph())
+			}
+			// Labels are extrapolated to full-flow magnitudes with a
+			// fixed factor; relative (percentage) prediction errors
+			// are invariant to it, but log-space training and the
+			// Fig. 5 histogram operate on paper-like seconds.
+			m := machineFor(v, true, 0, datasetWorkScale)
+			for _, k := range JobKinds() {
+				out.runtimes[k] = append(out.runtimes[k], m.Seconds(rc.Reports[k]))
+			}
+		}
+		return out
+	})
+	for bi, bench := range opts.Benchmarks {
 		for ri, recipe := range opts.Recipes {
-			runtimes := map[JobKind][]float64{}
-			var nlGraph *gcn.Graph
-			for _, v := range opts.VCPUs {
-				flow, err := RunFlow(g, lib, FlowOptions{
-					Recipe: recipe,
-					NewProbe: func(JobKind) *perf.Probe {
-						return NewJobProbe(v, estCells)
-					},
-				})
-				if err != nil {
-					return nil, fmt.Errorf("core: dataset %s/%s: %w", bench, recipe.Name, err)
-				}
-				if nlGraph == nil {
-					nlGraph = gcn.FromStarGraph(flow.Netlist.StarGraph())
-				}
-				// Labels are extrapolated to full-flow magnitudes with a
-				// fixed factor; relative (percentage) prediction errors
-				// are invariant to it, but log-space training and the
-				// Fig. 5 histogram operate on paper-like seconds.
-				m := machineFor(v, true, 0, datasetWorkScale)
-				for _, k := range JobKinds() {
-					runtimes[k] = append(runtimes[k], m.Seconds(flow.Reports[k]))
-				}
+			unit := units[bi*nRecipes+ri]
+			if unit.err != nil {
+				return nil, unit.err
 			}
 			for _, k := range JobKinds() {
 				if k == JobSynthesis {
@@ -138,8 +182,8 @@ func BuildDataset(lib *techlib.Library, opts DatasetOptions) (*Dataset, error) {
 						ds.Jobs[k] = append(ds.Jobs[k], LabeledGraph{
 							Design:   bench,
 							Variant:  recipe.Name,
-							Graph:    inputAIG,
-							Runtimes: runtimes[k],
+							Graph:    unit.inputAIG,
+							Runtimes: unit.runtimes[k],
 						})
 					}
 					continue
@@ -147,8 +191,8 @@ func BuildDataset(lib *techlib.Library, opts DatasetOptions) (*Dataset, error) {
 				ds.Jobs[k] = append(ds.Jobs[k], LabeledGraph{
 					Design:   bench,
 					Variant:  recipe.Name,
-					Graph:    nlGraph,
-					Runtimes: runtimes[k],
+					Graph:    unit.nlGraph,
+					Runtimes: unit.runtimes[k],
 				})
 			}
 		}

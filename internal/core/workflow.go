@@ -6,6 +6,7 @@ import (
 
 	"edacloud/internal/aig"
 	"edacloud/internal/cloud"
+	"edacloud/internal/flow"
 	"edacloud/internal/gcn"
 	"edacloud/internal/mckp"
 	"edacloud/internal/netlist"
@@ -27,17 +28,19 @@ type DesignGraphs struct {
 	Netlist *gcn.Graph
 }
 
-// GraphsForDesign prepares predictor inputs for a raw design: it maps
-// the AIG once (uninstrumented) to obtain the netlist graph.
+// GraphsForDesign prepares predictor inputs for a raw design: it runs
+// a synthesis-only partial flow (uninstrumented, raw mapping) to
+// obtain the netlist graph.
 func GraphsForDesign(g *aig.Graph, lib *techlib.Library) (*DesignGraphs, error) {
-	res, err := synth.Synthesize(g, lib, synth.Options{})
+	p := flow.NewPipeline(flow.WithStages(flow.Synthesis(synth.Options{})))
+	rc, err := p.Run(g, lib)
 	if err != nil {
 		return nil, err
 	}
 	return &DesignGraphs{
 		Name:    g.Name,
 		AIG:     gcn.FromStarGraph(netlist.AIGGraph(g)),
-		Netlist: gcn.FromStarGraph(res.Netlist.StarGraph()),
+		Netlist: gcn.FromStarGraph(rc.Netlist.StarGraph()),
 	}, nil
 }
 

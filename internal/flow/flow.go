@@ -1,0 +1,93 @@
+// Package flow is the composable flow API of the reproduction: it
+// turns the paper's four EDA applications — synthesis, placement,
+// routing and static timing analysis — into schedulable, recombinable
+// stages, which is the seam the paper's whole workflow (its Fig. 1)
+// rests on: an EDA flow is a unit of work to be characterized, priced
+// and placed onto cloud VMs.
+//
+// # Stages and pipelines
+//
+// A Stage wraps one engine behind a uniform interface: Name, the
+// JobKind it implements, and Run against a RunContext. The RunContext
+// is the typed artifact store a flow threads through its stages — the
+// optimized AIG, mapped netlist, placement, routing and timing results,
+// plus one perf.Report per stage — together with the design, the cell
+// library, a context.Context honored at stage boundaries, and the
+// per-stage execution configuration (StageConfig: worker-pool bound and
+// performance probe).
+//
+// A Pipeline is a sequence of stages built with functional options:
+//
+//	p := flow.NewPipeline(
+//		flow.WithRecipe(recipe),
+//		flow.WithWorkers(8),
+//		flow.WithNewProbe(probeFor),
+//	)
+//	rc, err := p.Run(design, lib)
+//
+// Partial flows pass an explicit stage list — synthesis-only for
+// dataset generation, for example:
+//
+//	p := flow.NewPipeline(flow.WithStages(flow.Synthesis(synth.Options{})))
+//
+// and stage substitution swaps one stage of the default flow for a
+// custom implementation with WithStage. WithEvents streams progress
+// (stage started/finished) to a callback as the pipeline runs.
+//
+// # Scheduling flows onto cloud instances
+//
+// Scheduler runs independent flow jobs concurrently — the paper's
+// multi-tenant deployment scenario, where each design's flow rents its
+// own VM. Every Job names a cloud.InstanceType; its simulated runtime
+// comes from replaying the flow's perf.Reports through that instance's
+// machine model, its bill from the instance's per-second price, and
+// the Schedule aggregates cost, makespan and per-job deadline
+// outcomes. Fan-out uses internal/par and aggregates fold in job
+// order, so results are identical for any worker count.
+//
+// core.RunFlow remains as a thin compatibility wrapper over a default
+// four-stage pipeline; new code should construct pipelines directly.
+package flow
+
+import (
+	"fmt"
+
+	"edacloud/internal/par"
+)
+
+// JobKind identifies one of the four characterized EDA applications.
+type JobKind int
+
+// The four applications of the paper's characterization, in flow
+// order.
+const (
+	JobSynthesis JobKind = iota
+	JobPlacement
+	JobRouting
+	JobSTA
+)
+
+// JobKinds lists all four in flow order.
+func JobKinds() []JobKind {
+	return []JobKind{JobSynthesis, JobPlacement, JobRouting, JobSTA}
+}
+
+func (k JobKind) String() string {
+	switch k {
+	case JobSynthesis:
+		return "synthesis"
+	case JobPlacement:
+		return "placement"
+	case JobRouting:
+		return "routing"
+	case JobSTA:
+		return "sta"
+	}
+	return fmt.Sprintf("job(%d)", int(k))
+}
+
+// StageConfig is the uniform per-stage execution configuration every
+// engine accepts: the worker-pool bound and the performance probe. It
+// is defined next to the pool substrate (par.StageConfig) so the
+// engines can embed it without importing this package.
+type StageConfig = par.StageConfig

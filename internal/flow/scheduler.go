@@ -1,0 +1,167 @@
+package flow
+
+import (
+	"context"
+	"fmt"
+
+	"edacloud/internal/aig"
+	"edacloud/internal/cloud"
+	"edacloud/internal/par"
+	"edacloud/internal/perf"
+	"edacloud/internal/techlib"
+)
+
+// Job is one flow to run on one rented cloud instance — the unit of
+// the paper's deployment problem. The zero Instance is a free
+// single-vCPU machine, useful in tests.
+type Job struct {
+	// Name labels the job in results.
+	Name string
+	// Design is the input AIG; the scheduler clones it per run, so one
+	// graph may back many jobs.
+	Design *aig.Graph
+	// Lib is the technology library.
+	Lib *techlib.Library
+	// Options shape the job's pipeline. The scheduler prepends the
+	// shared context and an instance-sized probe factory, so options
+	// here override both (e.g. WithStages for a partial flow).
+	Options []Option
+	// Instance is the VM the job rents: its vCPU count and AVX
+	// capability drive the simulated runtime, its price the bill.
+	Instance cloud.InstanceType
+	// DeadlineSec is the job's completion deadline in simulated
+	// seconds; 0 means none.
+	DeadlineSec float64
+	// Interference is the multi-tenant slowdown on the job's host (see
+	// cloud.Host.Interference); 0 means an idle host.
+	Interference float64
+	// WorkScale extrapolates simulated runtime to full design size;
+	// 0 means 1 (no extrapolation).
+	WorkScale float64
+}
+
+// JobResult is one job's outcome.
+type JobResult struct {
+	Name     string
+	Instance cloud.InstanceType
+	// Run holds the flow's artifacts; on error it carries whatever the
+	// completed stages produced.
+	Run *RunContext
+	Err error
+	// Seconds is the simulated runtime of the whole flow on the job's
+	// instance.
+	Seconds float64
+	// CostUSD is the instance's per-second bill for that runtime.
+	CostUSD float64
+	// DeadlineMet reports whether the job finished within its deadline
+	// (always false on error; true when no deadline was set).
+	DeadlineMet bool
+}
+
+// Schedule aggregates a batch of jobs. All aggregates fold in job
+// order, so they are identical for any scheduler worker count.
+type Schedule struct {
+	Jobs []JobResult
+	// TotalCostUSD is the batch bill across all instances.
+	TotalCostUSD float64
+	// TotalCPUSeconds sums simulated runtime over instances (the
+	// billed machine time).
+	TotalCPUSeconds float64
+	// MakespanSec is the slowest job's runtime — the batch completion
+	// time, since every job runs on its own instance.
+	MakespanSec float64
+	// DeadlinesMissed counts jobs that finished past their deadline.
+	DeadlinesMissed int
+	// Failed counts jobs that returned an error.
+	Failed int
+}
+
+// Scheduler runs independent flow jobs concurrently, each on its own
+// simulated cloud instance — the multi-job deployment the paper
+// optimizes for. Real host fan-out uses internal/par; simulated
+// runtimes, costs and deadlines come from each job's instance model
+// and are deterministic for any worker count.
+type Scheduler struct {
+	// Workers bounds how many jobs run concurrently on the real host;
+	// 0 means GOMAXPROCS. Results are identical for every value.
+	Workers int
+}
+
+// Run executes the jobs and returns the aggregated schedule. A
+// cancelled context fails the jobs that have not started and is
+// reported both per job and as the returned error.
+func (s *Scheduler) Run(ctx context.Context, jobs []Job) (*Schedule, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	pool := par.Fixed(s.Workers)
+	results := par.Map(pool, len(jobs), func(i int) JobResult {
+		return runJob(ctx, jobs[i])
+	})
+	sched := &Schedule{Jobs: results}
+	for i := range results {
+		r := &results[i]
+		sched.TotalCostUSD += r.CostUSD
+		sched.TotalCPUSeconds += r.Seconds
+		if r.Seconds > sched.MakespanSec {
+			sched.MakespanSec = r.Seconds
+		}
+		if r.Err != nil {
+			sched.Failed++
+			continue
+		}
+		if !r.DeadlineMet {
+			sched.DeadlinesMissed++
+		}
+	}
+	return sched, ctx.Err()
+}
+
+// runJob executes one flow on its instance's machine model.
+func runJob(ctx context.Context, job Job) JobResult {
+	res := JobResult{Name: job.Name, Instance: job.Instance}
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+		return res
+	}
+	if job.Design == nil || job.Lib == nil {
+		res.Err = fmt.Errorf("flow: job %q needs a design and a library", job.Name)
+		return res
+	}
+	vcpus := job.Instance.VCPUs
+	if vcpus <= 0 {
+		vcpus = 1
+	}
+	estCells := EstimateCells(job.Design.NumAnds())
+	opts := append([]Option{
+		WithContext(ctx),
+		WithNewProbe(func(JobKind) *perf.Probe { return NewJobProbe(vcpus, estCells) }),
+	}, job.Options...)
+	p := NewPipeline(opts...)
+	rc, err := p.Run(job.Design.Clone(), job.Lib)
+	res.Run = rc
+	if err != nil {
+		res.Err = err
+		return res
+	}
+
+	m := perf.Xeon14(vcpus)
+	if !job.Instance.AVX {
+		m = m.WithoutAVX()
+	}
+	m.Interference = job.Interference
+	m.WorkScale = job.WorkScale
+	if m.WorkScale == 0 {
+		m.WorkScale = 1
+	}
+	// Fixed kind order keeps the floating-point sum order independent
+	// of which stages ran.
+	for _, k := range JobKinds() {
+		if r := rc.Reports[k]; r != nil {
+			res.Seconds += m.Seconds(r)
+		}
+	}
+	res.CostUSD = job.Instance.Cost(res.Seconds)
+	res.DeadlineMet = job.DeadlineSec <= 0 || res.Seconds <= job.DeadlineSec
+	return res
+}

@@ -1,0 +1,120 @@
+package flow
+
+import (
+	"fmt"
+
+	"edacloud/internal/place"
+	"edacloud/internal/route"
+	"edacloud/internal/sta"
+	"edacloud/internal/synth"
+)
+
+// Stage is one schedulable unit of an EDA flow. Implementations read
+// their prerequisites from the RunContext, run their engine, and store
+// artifacts plus a perf.Report back; the pipeline never inspects what
+// a stage does beyond its Kind, which is how custom stages substitute
+// for built-in ones.
+type Stage interface {
+	// Name is the human-readable stage label used in events and errors.
+	Name() string
+	// Kind is the application slot the stage fills; per-stage worker
+	// overrides, probes and reports are keyed by it.
+	Kind() JobKind
+	// Run executes the stage against the run's artifact store.
+	Run(rc *RunContext) error
+}
+
+// Synthesis returns the built-in synthesis stage. The passed options
+// carry the stage-specific knobs (recipe, output registering, mapping
+// objective); Workers and Probe are resolved from the pipeline unless
+// set explicitly here.
+func Synthesis(opts synth.Options) Stage { return synthesisStage{opts} }
+
+type synthesisStage struct{ opts synth.Options }
+
+func (s synthesisStage) Name() string  { return "synthesis" }
+func (s synthesisStage) Kind() JobKind { return JobSynthesis }
+
+func (s synthesisStage) Run(rc *RunContext) error {
+	o := s.opts
+	o.StageConfig = rc.resolveConfig(JobSynthesis, o.StageConfig)
+	res, err := synth.Synthesize(rc.Design, rc.Lib, o)
+	if err != nil {
+		return err
+	}
+	rc.Optimized = res.Optimized
+	rc.Netlist = res.Netlist
+	rc.Reports[JobSynthesis] = res.Report
+	return nil
+}
+
+// Placement returns the built-in placement stage.
+func Placement(opts place.Options) Stage { return placementStage{opts} }
+
+type placementStage struct{ opts place.Options }
+
+func (s placementStage) Name() string  { return "placement" }
+func (s placementStage) Kind() JobKind { return JobPlacement }
+
+func (s placementStage) Run(rc *RunContext) error {
+	if rc.Netlist == nil {
+		return fmt.Errorf("no netlist in context (run a synthesis stage first)")
+	}
+	o := s.opts
+	o.StageConfig = rc.resolveConfig(JobPlacement, o.StageConfig)
+	pl, report, err := place.Place(rc.Netlist, o)
+	if err != nil {
+		return err
+	}
+	rc.Placement = pl
+	rc.Reports[JobPlacement] = report
+	return nil
+}
+
+// Routing returns the built-in global-routing stage.
+func Routing(opts route.Options) Stage { return routingStage{opts} }
+
+type routingStage struct{ opts route.Options }
+
+func (s routingStage) Name() string  { return "routing" }
+func (s routingStage) Kind() JobKind { return JobRouting }
+
+func (s routingStage) Run(rc *RunContext) error {
+	if rc.Netlist == nil || rc.Placement == nil {
+		return fmt.Errorf("no placed netlist in context (run synthesis and placement first)")
+	}
+	o := s.opts
+	o.StageConfig = rc.resolveConfig(JobRouting, o.StageConfig)
+	res, report, err := route.Route(rc.Netlist, rc.Placement, o)
+	if err != nil {
+		return err
+	}
+	rc.Routing = res
+	rc.Reports[JobRouting] = report
+	return nil
+}
+
+// STA returns the built-in static-timing stage. It accepts a missing
+// placement (zero-wire-load timing), so a synthesis+sta pipeline is a
+// valid partial flow.
+func STA(opts sta.Options) Stage { return staStage{opts} }
+
+type staStage struct{ opts sta.Options }
+
+func (s staStage) Name() string  { return "sta" }
+func (s staStage) Kind() JobKind { return JobSTA }
+
+func (s staStage) Run(rc *RunContext) error {
+	if rc.Netlist == nil {
+		return fmt.Errorf("no netlist in context (run a synthesis stage first)")
+	}
+	o := s.opts
+	o.StageConfig = rc.resolveConfig(JobSTA, o.StageConfig)
+	res, report, err := sta.Analyze(rc.Netlist, rc.Placement, o)
+	if err != nil {
+		return err
+	}
+	rc.Timing = res
+	rc.Reports[JobSTA] = report
+	return nil
+}

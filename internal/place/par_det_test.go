@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"edacloud/internal/designs"
+	"edacloud/internal/par"
 	"edacloud/internal/perf"
 	"edacloud/internal/synth"
 	"edacloud/internal/techlib"
@@ -28,7 +29,7 @@ func TestPlaceDeterministicAcrossWorkers(t *testing.T) {
 			if instrumented {
 				probe = perf.NewProbe(perf.DefaultProbeConfig())
 			}
-			pl, _, err := Place(sres.Netlist, Options{Probe: probe, Workers: workers})
+			pl, _, err := Place(sres.Netlist, Options{StageConfig: par.StageConfig{Probe: probe, Workers: workers}})
 			if err != nil {
 				t.Fatalf("workers=%d: %v", workers, err)
 			}

@@ -34,11 +34,11 @@ type Options struct {
 	CGIters int
 	// Bins is the spreading grid dimension; 0 means auto (~sqrt(n)/2).
 	Bins int
-	// Probe receives performance events; nil runs uninstrumented.
-	Probe *perf.Probe
-	// Workers bounds the worker pool for the parallel CG matrix-vector
-	// rows; 0 means GOMAXPROCS. Results are identical for every value.
-	Workers int
+	// StageConfig supplies the shared execution knobs: Workers bounds
+	// the worker pool for the parallel CG matrix-vector rows (0 means
+	// GOMAXPROCS; results are identical for every value), and Probe
+	// receives performance events (nil runs uninstrumented).
+	par.StageConfig
 }
 
 func (o Options) withDefaults(n int) Options {

@@ -6,6 +6,7 @@ import (
 
 	"edacloud/internal/designs"
 	"edacloud/internal/netlist"
+	"edacloud/internal/par"
 	"edacloud/internal/perf"
 	"edacloud/internal/synth"
 	"edacloud/internal/techlib"
@@ -129,7 +130,7 @@ func TestPlacementImprovesOverRandomBaseline(t *testing.T) {
 func TestPlaceProfileShape(t *testing.T) {
 	nl := mappedBench(t, "cavlc", 0.4)
 	probe := perf.NewProbe(perf.DefaultProbeConfig())
-	_, report, err := Place(nl, Options{Probe: probe})
+	_, report, err := Place(nl, Options{StageConfig: par.StageConfig{Probe: probe}})
 	if err != nil {
 		t.Fatal(err)
 	}

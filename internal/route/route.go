@@ -37,14 +37,14 @@ type Options struct {
 	MaxIters int
 	// TileSize is the parallel-scheduling tile edge in gcells; 0 means 8.
 	TileSize int
-	// Workers sets real goroutine parallelism for tile-local routing.
-	// It is only honored when Probe is nil (the performance simulation
-	// is single-threaded); 0 means 1.
-	Workers int
 	// HistoryCost scales the congestion history increment; 0 means 1.5.
 	HistoryCost float64
-	// Probe receives performance events; nil runs uninstrumented.
-	Probe *perf.Probe
+	// StageConfig supplies the shared execution knobs. Unlike the other
+	// engines, Workers here sets real goroutine parallelism for
+	// tile-local routing and is only honored when Probe is nil (the
+	// performance simulation is single-threaded); 0 means 1. Probe
+	// receives performance events; nil runs uninstrumented.
+	par.StageConfig
 }
 
 func (o Options) withDefaults(rowHeight float64) Options {

@@ -5,6 +5,7 @@ import (
 
 	"edacloud/internal/designs"
 	"edacloud/internal/netlist"
+	"edacloud/internal/par"
 	"edacloud/internal/perf"
 	"edacloud/internal/place"
 	"edacloud/internal/synth"
@@ -98,11 +99,11 @@ func TestRouteWirelengthLowerBound(t *testing.T) {
 
 func TestRouteParallelMatchesConnectivity(t *testing.T) {
 	nl, pl := placedBench(t, "cavlc", 0.3)
-	serial, _, err := Route(nl, pl, Options{Workers: 1})
+	serial, _, err := Route(nl, pl, Options{StageConfig: par.StageConfig{Workers: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, _, err := Route(nl, pl, Options{Workers: 8})
+	par, _, err := Route(nl, pl, Options{StageConfig: par.StageConfig{Workers: 8}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestRouteCongestionNegotiation(t *testing.T) {
 func TestRouteProfileShape(t *testing.T) {
 	nl, pl := placedBench(t, "cavlc", 0.4)
 	probe := perf.NewProbe(perf.DefaultProbeConfig())
-	_, report, err := Route(nl, pl, Options{Probe: probe})
+	_, report, err := Route(nl, pl, Options{StageConfig: par.StageConfig{Probe: probe}})
 	if err != nil {
 		t.Fatal(err)
 	}

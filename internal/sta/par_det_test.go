@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"edacloud/internal/designs"
+	"edacloud/internal/par"
 	"edacloud/internal/perf"
 	"edacloud/internal/place"
 	"edacloud/internal/synth"
@@ -33,7 +34,7 @@ func TestAnalyzeDeterministicAcrossWorkers(t *testing.T) {
 			if instrumented {
 				probe = perf.NewProbe(perf.DefaultProbeConfig())
 			}
-			res, _, err := Analyze(sres.Netlist, pl, Options{Probe: probe, Workers: workers})
+			res, _, err := Analyze(sres.Netlist, pl, Options{StageConfig: par.StageConfig{Probe: probe, Workers: workers}})
 			if err != nil {
 				t.Fatalf("workers=%d: %v", workers, err)
 			}

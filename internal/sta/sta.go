@@ -35,11 +35,12 @@ type Options struct {
 	// minimum-delay paths; 0 means 0.005 ns (comfortably under one
 	// gate delay, as 14nm-class hold times are).
 	HoldTimeNs float64
-	// Probe receives performance events; nil runs uninstrumented.
-	Probe *perf.Probe
-	// Workers bounds the worker pool for the level-parallel forward
-	// sweep; 0 means GOMAXPROCS. Results are identical for every value.
-	Workers int
+	// StageConfig supplies the shared execution knobs: Workers bounds
+	// the worker pool for the level-parallel forward sweep and the
+	// endpoint slack pass (0 means GOMAXPROCS; results are identical
+	// for every value), and Probe receives performance events (nil
+	// runs uninstrumented).
+	par.StageConfig
 }
 
 func (o Options) withDefaults() Options {
@@ -256,37 +257,70 @@ func Analyze(nl *netlist.Netlist, pl *place.Placement, opts Options) (*Result, *
 	}
 	res.Endpoints = len(endpoints)
 
+	// The endpoint sweep is embarrassingly parallel: each endpoint reads
+	// its own arrival record and folds into a handful of scalars. Chunks
+	// of the fixed epGrain accumulate into per-chunk partials which are
+	// merged in ascending chunk order afterwards — the ordered-reduction
+	// discipline of par.Reduce. The chunk layout, the TNS summation
+	// order (within-chunk left-to-right, then chunk-ordered fold), the
+	// first-minimum WNS/worst-net tie-breaking and the probe's shard
+	// assignment all depend only on the endpoint count, so the result —
+	// floating point included — is identical for every worker count.
 	res.WHS = math.Inf(1)
 	worstNet := netlist.NoNet
-	for _, ep := range endpoints {
-		probe.LoadHot(rgArrival, uint64(ep.net))
-		probe.LoopBranches(4)
-		arr := arrival[ep.net]
-		slack := opts.ClockPeriodNs - arr
-		violated := slack < 0
-		probe.Branch(brViolation, violated)
-		if violated {
-			res.TNS += slack
-		}
-		if slack < res.WNS {
-			res.WNS = slack
-			worstNet = ep.net
-		}
-		if arr > res.MaxArrival {
-			res.MaxArrival = arr
-		}
-		// Hold: only register endpoints race the same clock edge.
-		if strings.HasPrefix(ep.name, "dff:") {
-			hold := minArrival[ep.net] - opts.HoldTimeNs
-			if hold < res.WHS {
-				res.WHS = hold
+	type epPartial struct {
+		tns, wns, maxArr, whs float64
+		worstNet              netlist.NetID
+		holdViolations        int
+	}
+	partials := make([]epPartial, chunksOf(len(endpoints), epGrain))
+	pool.ForProbe(probe, len(endpoints), epGrain, func(lo, hi, _ int, probe *perf.Probe) {
+		part := epPartial{wns: math.Inf(1), whs: math.Inf(1), worstNet: netlist.NoNet}
+		for _, ep := range endpoints[lo:hi] {
+			probe.LoadHot(rgArrival, uint64(ep.net))
+			probe.LoopBranches(4)
+			arr := arrival[ep.net]
+			slack := opts.ClockPeriodNs - arr
+			violated := slack < 0
+			probe.Branch(brViolation, violated)
+			if violated {
+				part.tns += slack
 			}
-			if hold < 0 {
-				res.HoldViolations++
+			if slack < part.wns {
+				part.wns = slack
+				part.worstNet = ep.net
+			}
+			if arr > part.maxArr {
+				part.maxArr = arr
+			}
+			// Hold: only register endpoints race the same clock edge.
+			if strings.HasPrefix(ep.name, "dff:") {
+				hold := minArrival[ep.net] - opts.HoldTimeNs
+				if hold < part.whs {
+					part.whs = hold
+				}
+				if hold < 0 {
+					part.holdViolations++
+				}
+				probe.FPScalar(2)
 			}
 			probe.FPScalar(2)
 		}
-		probe.FPScalar(2)
+		partials[lo/epGrain] = part
+	})
+	for _, part := range partials {
+		res.TNS += part.tns
+		if part.wns < res.WNS {
+			res.WNS = part.wns
+			worstNet = part.worstNet
+		}
+		if part.maxArr > res.MaxArrival {
+			res.MaxArrival = part.maxArr
+		}
+		if part.whs < res.WHS {
+			res.WHS = part.whs
+		}
+		res.HoldViolations += part.holdViolations
 	}
 	if len(endpoints) == 0 {
 		res.WNS = opts.ClockPeriodNs
@@ -361,6 +395,12 @@ type nldmTable interface{ Lookup(s, l float64) float64 }
 // staGrain is the per-chunk cell count of the level-parallel sweep; a
 // fixed constant keeps the probe-shard layout machine-independent.
 const staGrain = 16
+
+// epGrain is the per-chunk endpoint count of the parallel slack pass.
+const epGrain = 32
+
+// chunksOf mirrors par's chunk layout for sizing per-chunk partials.
+func chunksOf(n, grain int) int { return ints.CeilDiv(n, grain) }
 
 // levelBuckets groups cells for the levelized sweep: bucket 0 holds
 // sequential cells, bucket l+1 the combinational cells at level l.

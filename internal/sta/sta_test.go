@@ -6,6 +6,7 @@ import (
 
 	"edacloud/internal/designs"
 	"edacloud/internal/netlist"
+	"edacloud/internal/par"
 	"edacloud/internal/perf"
 	"edacloud/internal/place"
 	"edacloud/internal/synth"
@@ -148,7 +149,7 @@ func TestAnalyzeRejectsCyclicNetlist(t *testing.T) {
 func TestProfileShapeFPHeavy(t *testing.T) {
 	nl := mapped(t, "cavlc", 0.4, false)
 	probe := perf.NewProbe(perf.DefaultProbeConfig())
-	_, report, err := Analyze(nl, nil, Options{Probe: probe})
+	_, report, err := Analyze(nl, nil, Options{StageConfig: par.StageConfig{Probe: probe}})
 	if err != nil {
 		t.Fatal(err)
 	}

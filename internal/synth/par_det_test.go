@@ -45,7 +45,7 @@ func TestSynthesizeDeterministicAcrossWorkers(t *testing.T) {
 		t.Fatal(err)
 	}
 	run := func(workers int) *netlist.Netlist {
-		res, err := Synthesize(g.Clone(), lib, Options{Recipe: recipe, Workers: workers})
+		res, err := Synthesize(g.Clone(), lib, Options{Recipe: recipe, StageConfig: par.StageConfig{Workers: workers}})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}

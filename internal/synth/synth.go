@@ -126,12 +126,12 @@ type Options struct {
 	RegisterOutputs bool
 	// Objective selects delay- (default) or area-oriented mapping.
 	Objective MapObjective
-	// Probe receives performance events; nil runs uninstrumented.
-	Probe *perf.Probe
-	// Workers bounds the worker pool for the recipe passes' and the
-	// mapper's intra-level cut enumeration; 0 means GOMAXPROCS.
-	// Results are identical for every value.
-	Workers int
+	// StageConfig supplies the shared execution knobs: Workers bounds
+	// the worker pool for the recipe passes' and the mapper's
+	// intra-level cut enumeration (0 means GOMAXPROCS; results are
+	// identical for every value), and Probe receives performance
+	// events (nil runs uninstrumented).
+	par.StageConfig
 }
 
 // Result bundles the outputs of a synthesis run.

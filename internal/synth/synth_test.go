@@ -8,6 +8,7 @@ import (
 	"edacloud/internal/aig"
 	"edacloud/internal/designs"
 	"edacloud/internal/netlist"
+	"edacloud/internal/par"
 	"edacloud/internal/perf"
 	"edacloud/internal/techlib"
 )
@@ -418,7 +419,7 @@ func TestSynthesizeReportPhases(t *testing.T) {
 	g := designs.MustBenchmark("cavlc", 0.2)
 	probe := perf.NewProbe(perf.DefaultProbeConfig())
 	recipe, _ := RecipeByName("resyn")
-	res, err := Synthesize(g, lib, Options{Recipe: recipe, Probe: probe})
+	res, err := Synthesize(g, lib, Options{Recipe: recipe, StageConfig: par.StageConfig{Probe: probe}})
 	if err != nil {
 		t.Fatal(err)
 	}
