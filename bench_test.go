@@ -586,6 +586,52 @@ func BenchmarkParSpeedupSynthesize(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetThroughput is the smoke benchmark of the fleet
+// scheduler: a batch of flows contending for a bounded instance pool
+// under the greedy first-fit policy, stages placed one machine at a
+// time. It prints jobs/sec, the simulated fleet utilization and the
+// core count so CI runs are self-describing; placements are identical
+// for any worker count (see flow's fleet determinism test).
+func BenchmarkFleetThroughput(b *testing.B) {
+	catalog := cloud.DefaultCatalog().WithMinBill(60)
+	nominal, err := catalog.ByName("mem.4x")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var jobs []flow.Job
+	for i, name := range []string{"dyn_node", "aes", "ibex", "jpeg", "aes", "dyn_node"} {
+		g := designs.MustEvalDesign(name, benchScale)
+		jobs = append(jobs, flow.Job{
+			Name: fmt.Sprintf("%s#%d", name, i), Design: g, Lib: benchLib,
+			Instance: nominal, WorkScale: 2e4,
+		})
+	}
+	for i := 0; i < b.N; i++ {
+		fleet, err := cloud.ParseFleetSpec(catalog, "gp.4x=1,mem.4x=1,mem.8x=1")
+		if err != nil {
+			b.Fatal(err)
+		}
+		sched := &flow.Scheduler{Fleet: fleet, Policy: flow.FirstFit{}}
+		start := time.Now()
+		res, err := sched.Run(context.Background(), jobs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Failed > 0 {
+			b.Fatalf("%d jobs failed", res.Failed)
+		}
+		elapsed := time.Since(start)
+		rate := float64(len(jobs)) / elapsed.Seconds()
+		b.ReportMetric(rate, "jobs/s")
+		b.ReportMetric(res.UtilizationPct, "util%")
+		if i == 0 {
+			fmt.Printf("\nFleetThroughput cores=%d jobs=%d fleet=%s wall=%v rate=%.2f jobs/s util=%.1f%% wait=%.0fs cost=$%.4f\n",
+				runtime.GOMAXPROCS(0), len(jobs), res.Fleet, elapsed.Round(time.Millisecond),
+				rate, res.UtilizationPct, res.TotalWaitSec, res.TotalCostUSD)
+		}
+	}
+}
+
 // BenchmarkSchedulerThroughput is the smoke benchmark of the
 // multi-job flow scheduler: a batch of independent flow jobs, one
 // simulated cloud instance each, fanned out across the host's cores.

@@ -2,13 +2,17 @@
 // static timing — on one design through the composable flow.Pipeline
 // API, streaming per-stage progress, and prints the artifacts each
 // stage produces plus (optionally) the per-stage performance profile
-// under a chosen VM configuration.
+// under a chosen VM configuration. With -fleet it instead schedules a
+// batch of copies of the flow over a bounded instance fleet and prints
+// the contended schedule and the fleet's utilization/cost ledger.
 //
 // Usage:
 //
 //	edaflow -design ibex -scale 0.05 -recipe resyn2 -vcpus 4
 //	edaflow -bench multiplier -scale 0.2
 //	edaflow -design ibex -stages synthesis,sta
+//	edaflow -design ibex -fleet mem.8x=2 -batch 4 -instance mem.8x
+//	edaflow -design aes -fleet gp.4x=1,mem.8x=1 -batch 3 -policy firstfit -minbill 60
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"strings"
 
 	"edacloud/internal/aig"
+	"edacloud/internal/cloud"
 	"edacloud/internal/designs"
 	"edacloud/internal/flow"
 	"edacloud/internal/perf"
@@ -38,6 +43,12 @@ func main() {
 	clock := flag.Float64("clock", 1.0, "clock period for STA (ns)")
 	stages := flag.String("stages", "", "comma-separated partial flow (e.g. synthesis,sta); empty runs the full flow")
 	workers := flag.Int("workers", 0, "worker-pool bound for every stage (0 = all cores; results identical)")
+	fleetSpec := flag.String("fleet", "", "schedule a batch over this bounded fleet (name=count,...) instead of one local run")
+	batch := flag.Int("batch", 4, "number of flow copies in the -fleet batch")
+	instName := flag.String("instance", "mem.4x", "instance type each batch job nominally rents (single policy)")
+	policyName := flag.String("policy", "single", "fleet placement policy: single (job keeps one machine) or firstfit (greedy any-machine, per stage)")
+	minBill := flag.Float64("minbill", 0, "minimum billing granularity in seconds (0 = pure per-second)")
+	deadlineSec := flag.Float64("deadline", 0, "per-job completion deadline in simulated seconds (0 = none)")
 	flag.Parse()
 
 	var g *aig.Graph
@@ -61,6 +72,17 @@ func main() {
 	fmt.Printf("Design %s: %v\n\n", g.Name, g.Stats())
 
 	lib := techlib.Default14nm()
+	stageList := partialStages(*stages, recipe, *registers, *clock)
+
+	if *fleetSpec != "" {
+		runFleetBatch(g, lib, recipe, stageList, batchConfig{
+			fleetSpec: *fleetSpec, batch: *batch, instance: *instName,
+			policy: *policyName, minBill: *minBill, deadline: *deadlineSec,
+			workers: *workers, registers: *registers, clock: *clock,
+		})
+		return
+	}
+
 	estCells := flow.EstimateCells(g.NumAnds())
 	opts := []flow.Option{
 		flow.WithRecipe(recipe),
@@ -81,8 +103,8 @@ func main() {
 			}
 		}),
 	}
-	if list := partialStages(*stages, recipe, *registers, *clock); list != nil {
-		opts = append(opts, flow.WithStages(list...))
+	if stageList != nil {
+		opts = append(opts, flow.WithStages(stageList...))
 	}
 
 	rc, err := flow.NewPipeline(opts...).Run(g, lib)
@@ -120,6 +142,98 @@ func main() {
 		c := rep.Total()
 		fmt.Printf("  %-10s %12d instr, %6.2f%% br-miss, %5.1f%% cache-miss, %5.1f%% AVX, %.4fs\n",
 			k, c.Instrs, c.BranchMissPct(), c.CacheMissPct(), c.FPVectorPct(), m.Seconds(rep))
+	}
+}
+
+// batchConfig carries the -fleet batch mode's knobs.
+type batchConfig struct {
+	fleetSpec string
+	batch     int
+	instance  string
+	policy    string
+	minBill   float64
+	deadline  float64
+	workers   int
+	registers bool
+	clock     float64
+}
+
+// runFleetBatch schedules copies of the configured flow over a bounded
+// fleet — the paper's batch-deployment scenario — and prints the
+// contended schedule plus the fleet's utilization/cost ledger.
+func runFleetBatch(g *aig.Graph, lib *techlib.Library, recipe synth.Recipe, stageList []flow.Stage, cfg batchConfig) {
+	catalog := cloud.DefaultCatalog()
+	if cfg.minBill > 0 {
+		catalog = catalog.WithMinBill(cfg.minBill)
+	}
+	fleet, err := cloud.ParseFleetSpec(catalog, cfg.fleetSpec)
+	if err != nil {
+		fail(err)
+	}
+	inst, err := catalog.ByName(cfg.instance)
+	if err != nil {
+		fail(err)
+	}
+	var policy flow.Policy
+	switch cfg.policy {
+	case "single":
+		policy = flow.SingleInstance{}
+	case "firstfit":
+		policy = flow.FirstFit{}
+	default:
+		fail(fmt.Errorf("unknown policy %q (want single or firstfit)", cfg.policy))
+	}
+
+	opts := []flow.Option{
+		flow.WithRecipe(recipe),
+		flow.WithRegisterOutputs(cfg.registers),
+		flow.WithClockPeriodNs(cfg.clock),
+	}
+	if stageList != nil {
+		opts = append(opts, flow.WithStages(stageList...))
+	}
+	var jobs []flow.Job
+	for i := 0; i < cfg.batch; i++ {
+		jobs = append(jobs, flow.Job{
+			Name:        fmt.Sprintf("%s#%d", g.Name, i),
+			Design:      g,
+			Lib:         lib,
+			Options:     opts,
+			Instance:    inst,
+			DeadlineSec: cfg.deadline,
+			// Extrapolate the reduced-scale simulation to full-flow
+			// magnitudes (the dataset generator's representative factor).
+			WorkScale: 2e4,
+		})
+	}
+	sched, err := (&flow.Scheduler{Workers: cfg.workers, Fleet: fleet, Policy: policy}).Run(nil, jobs)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("Fleet batch: %d x %s on %s (policy %s)\n\n", cfg.batch, g.Name, fleet, sched.Policy)
+	fmt.Printf("%-12s %9s %9s %9s %9s %10s %9s\n",
+		"job", "start", "busy", "wait", "finish", "cost ($)", "deadline")
+	for _, j := range sched.Jobs {
+		if j.Err != nil {
+			fail(j.Err)
+		}
+		status := "met"
+		if !j.DeadlineMet {
+			status = "MISSED"
+		}
+		if cfg.deadline <= 0 {
+			status = "-"
+		}
+		fmt.Printf("%-12s %8.0fs %8.0fs %8.0fs %8.0fs %10.4f %9s\n",
+			j.Name, j.StartSec, j.Seconds, j.WaitSec, j.FinishSec, j.CostUSD, status)
+	}
+	fmt.Printf("\nBatch: $%.4f, makespan %.0fs, %.0fs queued, fleet %.1f%% utilized\n\n",
+		sched.TotalCostUSD, sched.MakespanSec, sched.TotalWaitSec, sched.UtilizationPct)
+	fmt.Printf("%-12s %7s %9s %10s %7s\n", "instance", "leases", "busy", "cost ($)", "util")
+	for _, row := range sched.Fleet.Ledger(sched.MakespanSec) {
+		fmt.Printf("%-12s %7d %8.0fs %10.4f %6.1f%%\n",
+			row.ID, row.Leases, row.BusySec, row.CostUSD, row.UtilizationPct)
 	}
 }
 

@@ -3,12 +3,18 @@
 // under total-runtime constraints, with NA for infeasible deadlines)
 // and Fig. 6 (cost and runtime of the optimizer against the
 // over-provisioning and under-provisioning baselines on four designs).
+// With -execute it additionally runs the optimized plan through the
+// fleet scheduler — each stage placed on its knapsack-chosen instance
+// — and prints predicted versus simulated per-stage runtimes and
+// bills.
 //
 // Usage:
 //
 //	optimize -table1 -design sparc_core
 //	optimize -figure6
 //	optimize -table1 -deadlines 10000,6000,5645,5000
+//	optimize -execute -design ibex -deadline 250
+//	optimize -execute -fleet gp.1x=1,mem.8x=2 -minbill 60
 package main
 
 import (
@@ -24,26 +30,37 @@ import (
 )
 
 func main() {
-	design := flag.String("design", "sparc_core", "design for Table I")
+	design := flag.String("design", "sparc_core", "design for Table I / plan execution")
 	scale := flag.Float64("scale", 0.03, "design scale factor")
 	table1 := flag.Bool("table1", false, "regenerate Table I")
 	figure6 := flag.Bool("figure6", false, "regenerate Figure 6")
+	execute := flag.Bool("execute", false, "execute the optimized plan on a fleet and compare against the prediction")
 	deadlineList := flag.String("deadlines", "", "comma-separated deadline seconds for Table I (default: derived from the design)")
+	deadline := flag.Int("deadline", 0, "deadline seconds for -execute (0 = midway between fastest and cheapest)")
+	fleetSpec := flag.String("fleet", "", "fleet for -execute as name=count,... (default: one instance per plan-chosen type)")
+	minBill := flag.Float64("minbill", 0, "minimum billing granularity in seconds for -execute (0 = pure per-second)")
 	slack := flag.Float64("slack", 1.1, "Figure 6 deadline as a multiple of the fastest schedule")
 	workers := flag.Int("workers", 0, "bound for the characterization fan-out and kernel pools (0 = all cores; results identical)")
 	flag.Parse()
 
-	if !*table1 && !*figure6 {
+	if !*table1 && !*figure6 && !*execute {
 		*table1 = true
 		*figure6 = true
 	}
 
 	lib := techlib.Default14nm()
 	catalog := cloud.DefaultCatalog()
+	if *minBill > 0 {
+		catalog = catalog.WithMinBill(*minBill)
+	}
 	opts := core.CharacterizeOptions{Scale: *scale, Workers: *workers}
 
+	if *execute {
+		executePlan(lib, catalog, *design, opts, *deadline, *fleetSpec)
+	}
+
 	if *table1 {
-		prob := buildProblem(lib, catalog, *design, opts)
+		_, prob := buildProblem(lib, catalog, *design, opts)
 		fmt.Printf("Table I: minimizing deployment cost for %s under runtime constraints\n\n", *design)
 		printStageTable(prob)
 
@@ -81,7 +98,7 @@ func main() {
 		var totalSaving float64
 		designsList := []string{"sparc_core", "coyote", "ariane", "swerv"}
 		for _, d := range designsList {
-			prob := buildProblem(lib, catalog, d, opts)
+			_, prob := buildProblem(lib, catalog, d, opts)
 			cmp, err := core.CompareProvisioning(prob, *slack)
 			if err != nil {
 				fail(err)
@@ -96,7 +113,7 @@ func main() {
 	}
 }
 
-func buildProblem(lib *techlib.Library, catalog *cloud.Catalog, design string, opts core.CharacterizeOptions) *core.DeploymentProblem {
+func buildProblem(lib *techlib.Library, catalog *cloud.Catalog, design string, opts core.CharacterizeOptions) (*core.DesignCharacterization, *core.DeploymentProblem) {
 	char, err := core.CharacterizeEval(lib, design, opts)
 	if err != nil {
 		fail(err)
@@ -105,7 +122,56 @@ func buildProblem(lib *techlib.Library, catalog *cloud.Catalog, design string, o
 	if err != nil {
 		fail(err)
 	}
-	return prob
+	return char, prob
+}
+
+// executePlan is the run-the-plan mode: optimize a deployment under
+// the deadline, then execute it stage by stage over a fleet with
+// flow.PlanPolicy, validating the knapsack's per-stage predictions
+// against the simulated schedule.
+func executePlan(lib *techlib.Library, catalog *cloud.Catalog, design string, opts core.CharacterizeOptions, deadline int, fleetSpec string) {
+	char, prob := buildProblem(lib, catalog, design, opts)
+	if deadline <= 0 {
+		deadline = (prob.MinTime() + prob.UnderProvision().TotalTime) / 2
+	}
+	plan, err := prob.Optimize(deadline)
+	if err != nil {
+		fail(err)
+	}
+	if !plan.Feasible {
+		fail(fmt.Errorf("deadline %ds below the fastest achievable %ds", deadline, prob.MinTime()))
+	}
+	var fleet *cloud.Fleet
+	if fleetSpec != "" {
+		if fleet, err = cloud.ParseFleetSpec(catalog, fleetSpec); err != nil {
+			fail(err)
+		}
+	}
+	sched, err := core.ExecutePlan(lib, char, plan, opts, fleet)
+	if err != nil {
+		fail(err)
+	}
+	j := sched.Jobs[0]
+	if j.Err != nil {
+		fail(j.Err)
+	}
+
+	fmt.Printf("Plan execution: %s under a %ds deadline (policy %s, fleet %s)\n\n",
+		design, deadline, sched.Policy, sched.Fleet)
+	fmt.Printf("%-12s %-10s %12s %12s %14s %14s\n",
+		"stage", "instance", "predicted", "simulated", "pred cost ($)", "sim cost ($)")
+	for _, st := range j.Stages {
+		pick, err := plan.Pick(st.Kind)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%-12s %-10s %11.1fs %11.1fs %14.4f %14.4f\n",
+			st.Kind, st.Instance, pick.Seconds, st.Seconds, pick.Cost, st.CostUSD)
+	}
+	fmt.Printf("\nplan: time %ds cost $%.4f | simulated: busy %.1fs finish %.1fs cost $%.4f wait %.1fs\n",
+		plan.TotalTime, plan.TotalCost, j.Seconds, j.FinishSec, j.CostUSD, j.WaitSec)
+	fmt.Printf("fleet utilization %.1f%% over a %.1fs makespan\n\n",
+		sched.UtilizationPct, sched.MakespanSec)
 }
 
 func printStageTable(prob *core.DeploymentProblem) {

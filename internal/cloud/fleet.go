@@ -1,0 +1,284 @@
+package cloud
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file models the bounded side of the paper's deployment problem:
+// a batch of flows does not rent an unlimited number of VMs — it
+// contends for a finite fleet. A Fleet is that pool: a fixed set of
+// rentable instances, each with a busy timeline of leases and a
+// utilization/cost ledger. The flow scheduler's event loop acquires
+// and books instances against simulated time; everything here is plain
+// deterministic arithmetic, so a schedule built on a Fleet is
+// bit-identical for any real worker count.
+
+// Lease is one booked interval on a fleet instance: one stage (or one
+// whole single-instance flow) of one job.
+type Lease struct {
+	Job   string
+	Stage string
+	// StartSec/EndSec bound the interval in simulated seconds.
+	StartSec, EndSec float64
+	// CostUSD is the bill for the interval under the instance type's
+	// per-second pricing and minimum billing granularity.
+	CostUSD float64
+}
+
+// FleetInstance is one rentable machine of a fleet.
+type FleetInstance struct {
+	// ID labels the instance uniquely within its fleet, e.g. "mem.8x#1".
+	ID   string
+	Type InstanceType
+	// FreeAtSec is the simulated time the instance next becomes
+	// available (the end of its last lease).
+	FreeAtSec float64
+	// BusySec totals leased time; CostUSD totals the bills.
+	BusySec float64
+	CostUSD float64
+	Leases  []Lease
+}
+
+// Fleet is a bounded pool of rentable instances.
+type Fleet struct {
+	Instances []*FleetInstance
+}
+
+// FleetEntry sizes one slice of a fleet: Count instances of one type.
+type FleetEntry struct {
+	Type  InstanceType
+	Count int
+}
+
+// NewFleet builds a fleet from typed entries. Instances are numbered
+// per type in entry order, so the pool layout — and therefore every
+// tie-break in Acquire — is deterministic.
+func NewFleet(entries ...FleetEntry) *Fleet {
+	f := &Fleet{}
+	seen := map[string]int{}
+	for _, e := range entries {
+		for i := 0; i < e.Count; i++ {
+			n := seen[e.Type.Name]
+			seen[e.Type.Name]++
+			f.Instances = append(f.Instances, &FleetInstance{
+				ID:   fmt.Sprintf("%s#%d", e.Type.Name, n),
+				Type: e.Type,
+			})
+		}
+	}
+	return f
+}
+
+// ParseFleetSpec builds a fleet from a "name=count,name=count" spec
+// against a catalog, e.g. "gp.4x=2,mem.8x=1". A bare name means one
+// instance.
+func ParseFleetSpec(catalog *Catalog, spec string) (*Fleet, error) {
+	var entries []FleetEntry
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, countStr, hasCount := strings.Cut(part, "=")
+		count := 1
+		if hasCount {
+			v, err := strconv.Atoi(strings.TrimSpace(countStr))
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("cloud: bad fleet count in %q", part)
+			}
+			count = v
+		}
+		it, err := catalog.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, FleetEntry{Type: it, Count: count})
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("cloud: empty fleet spec %q", spec)
+	}
+	return NewFleet(entries...), nil
+}
+
+// Acquire returns the index of the instance of the named type (any
+// type when typeName is empty) that can start work earliest at or
+// after readySec, and that start time. Ties break toward the lowest
+// instance index, so grants are a pure function of the fleet state.
+func (f *Fleet) Acquire(typeName string, readySec float64) (int, float64, error) {
+	best, bestStart := -1, 0.0
+	for i, inst := range f.Instances {
+		if typeName != "" && inst.Type.Name != typeName {
+			continue
+		}
+		start := inst.FreeAtSec
+		if start < readySec {
+			start = readySec
+		}
+		if best < 0 || start < bestStart {
+			best, bestStart = i, start
+		}
+	}
+	if best < 0 {
+		if typeName == "" {
+			return 0, 0, fmt.Errorf("cloud: fleet has no instances")
+		}
+		return 0, 0, fmt.Errorf("cloud: fleet has no %q instances", typeName)
+	}
+	return best, bestStart, nil
+}
+
+// Book leases instance idx for [startSec, startSec+durSec), billing it
+// under the instance type's pricing, and returns the lease index. The
+// start must not precede the instance's free time.
+func (f *Fleet) Book(idx int, job, stage string, startSec, durSec float64) int {
+	inst := f.Instances[idx]
+	l := Lease{
+		Job: job, Stage: stage,
+		StartSec: startSec,
+		EndSec:   startSec + durSec,
+		CostUSD:  inst.Type.Cost(durSec),
+	}
+	inst.Leases = append(inst.Leases, l)
+	inst.FreeAtSec = l.EndSec
+	inst.BusySec += durSec
+	inst.CostUSD = instanceCost(inst)
+	return len(inst.Leases) - 1
+}
+
+// Extend stretches instance idx's latest lease by durSec — a job
+// holding its machine across consecutive stages instead of releasing
+// it — appending the stage to the lease label and re-billing the whole
+// interval. It returns the marginal cost of the extension.
+func (f *Fleet) Extend(idx int, stage string, durSec float64) float64 {
+	inst := f.Instances[idx]
+	l := &inst.Leases[len(inst.Leases)-1]
+	before := l.CostUSD
+	l.EndSec += durSec
+	l.Stage += "+" + stage
+	l.CostUSD = inst.Type.Cost(l.EndSec - l.StartSec)
+	inst.FreeAtSec = l.EndSec
+	inst.BusySec += durSec
+	inst.CostUSD = instanceCost(inst)
+	return l.CostUSD - before
+}
+
+// instanceCost re-sums an instance's lease bills so the ledger equals
+// the exact sum of final lease costs regardless of extension order.
+func instanceCost(inst *FleetInstance) float64 {
+	var c float64
+	for _, l := range inst.Leases {
+		c += l.CostUSD
+	}
+	return c
+}
+
+// Lease returns one lease of one instance.
+func (f *Fleet) Lease(idx, lease int) Lease { return f.Instances[idx].Leases[lease] }
+
+// TotalCostUSD sums the fleet bill over all instances.
+func (f *Fleet) TotalCostUSD() float64 {
+	var c float64
+	for _, inst := range f.Instances {
+		c += inst.CostUSD
+	}
+	return c
+}
+
+// HorizonSec returns the end of the latest lease in the fleet — the
+// schedule's makespan as the fleet saw it.
+func (f *Fleet) HorizonSec() float64 {
+	var h float64
+	for _, inst := range f.Instances {
+		if inst.FreeAtSec > h {
+			h = inst.FreeAtSec
+		}
+	}
+	return h
+}
+
+// Utilization returns busy time over capacity across the fleet for the
+// given horizon (0 means HorizonSec): 1.0 is a fleet with no idle
+// gaps. An unused fleet reports 0.
+func (f *Fleet) Utilization(horizonSec float64) float64 {
+	if horizonSec <= 0 {
+		horizonSec = f.HorizonSec()
+	}
+	if horizonSec <= 0 || len(f.Instances) == 0 {
+		return 0
+	}
+	var busy float64
+	for _, inst := range f.Instances {
+		busy += inst.BusySec
+	}
+	return busy / (horizonSec * float64(len(f.Instances)))
+}
+
+// Reset clears every timeline and ledger, returning the fleet to an
+// unused state so it can back another schedule.
+func (f *Fleet) Reset() {
+	for _, inst := range f.Instances {
+		inst.FreeAtSec = 0
+		inst.BusySec = 0
+		inst.CostUSD = 0
+		inst.Leases = nil
+	}
+}
+
+// LedgerRow is one line of the fleet's utilization/cost summary.
+type LedgerRow struct {
+	ID      string
+	Leases  int
+	BusySec float64
+	CostUSD float64
+	// UtilizationPct is the instance's busy share of the fleet horizon.
+	UtilizationPct float64
+}
+
+// Ledger summarizes per-instance usage, ordered by instance index, for
+// the given horizon (0 means HorizonSec).
+func (f *Fleet) Ledger(horizonSec float64) []LedgerRow {
+	if horizonSec <= 0 {
+		horizonSec = f.HorizonSec()
+	}
+	rows := make([]LedgerRow, len(f.Instances))
+	for i, inst := range f.Instances {
+		rows[i] = LedgerRow{
+			ID:      inst.ID,
+			Leases:  len(inst.Leases),
+			BusySec: inst.BusySec,
+			CostUSD: inst.CostUSD,
+		}
+		if horizonSec > 0 {
+			rows[i].UtilizationPct = 100 * inst.BusySec / horizonSec
+		}
+	}
+	return rows
+}
+
+// Types lists the distinct instance type names present in the fleet,
+// sorted, with counts — the menu a scheduling policy can choose from.
+func (f *Fleet) Types() map[string]int {
+	out := map[string]int{}
+	for _, inst := range f.Instances {
+		out[inst.Type.Name]++
+	}
+	return out
+}
+
+// String renders a compact spec of the fleet ("gp.4x=2,mem.8x=1").
+func (f *Fleet) String() string {
+	counts := f.Types()
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = fmt.Sprintf("%s=%d", n, counts[n])
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,179 @@
+package cloud
+
+import (
+	"math"
+	"testing"
+)
+
+func testFleet(t *testing.T) *Fleet {
+	t.Helper()
+	c := DefaultCatalog()
+	gp, err := c.ByName("gp.4x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := c.ByName("mem.8x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewFleet(FleetEntry{Type: gp, Count: 2}, FleetEntry{Type: mem, Count: 1})
+}
+
+func TestNewFleetLayout(t *testing.T) {
+	f := testFleet(t)
+	if len(f.Instances) != 3 {
+		t.Fatalf("%d instances, want 3", len(f.Instances))
+	}
+	for i, want := range []string{"gp.4x#0", "gp.4x#1", "mem.8x#0"} {
+		if f.Instances[i].ID != want {
+			t.Fatalf("instance %d ID %q, want %q", i, f.Instances[i].ID, want)
+		}
+	}
+	if f.String() != "gp.4x=2,mem.8x=1" {
+		t.Fatalf("fleet spec %q", f.String())
+	}
+	if n := f.Types()["gp.4x"]; n != 2 {
+		t.Fatalf("Types gp.4x = %d", n)
+	}
+}
+
+func TestParseFleetSpec(t *testing.T) {
+	c := DefaultCatalog()
+	f, err := ParseFleetSpec(c, "gp.4x=2, mem.8x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Instances) != 3 || f.String() != "gp.4x=2,mem.8x=1" {
+		t.Fatalf("parsed fleet %q with %d instances", f.String(), len(f.Instances))
+	}
+	for _, bad := range []string{"", "nope=1", "gp.4x=0", "gp.4x=x"} {
+		if _, err := ParseFleetSpec(c, bad); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestAcquireEarliestFreeDeterministicTies(t *testing.T) {
+	f := testFleet(t)
+	// Fresh fleet: ties break toward the lowest index.
+	idx, start, err := f.Acquire("gp.4x", 0)
+	if err != nil || idx != 0 || start != 0 {
+		t.Fatalf("Acquire = %d @ %g, %v", idx, start, err)
+	}
+	f.Book(idx, "a", "synthesis", start, 100)
+	// First gp instance busy until 100: the second wins.
+	idx, start, err = f.Acquire("gp.4x", 10)
+	if err != nil || idx != 1 || start != 10 {
+		t.Fatalf("Acquire = %d @ %g, %v", idx, start, err)
+	}
+	f.Book(idx, "b", "synthesis", start, 200)
+	// Both busy: earliest-free wins; start clamps to the free time.
+	idx, start, err = f.Acquire("gp.4x", 0)
+	if err != nil || idx != 0 || start != 100 {
+		t.Fatalf("Acquire = %d @ %g, %v", idx, start, err)
+	}
+	// Any-type acquisition may pick the idle memory instance.
+	idx, start, err = f.Acquire("", 5)
+	if err != nil || idx != 2 || start != 5 {
+		t.Fatalf("Acquire(any) = %d @ %g, %v", idx, start, err)
+	}
+	if _, _, err := f.Acquire("cpu.8x", 0); err == nil {
+		t.Fatal("absent type accepted")
+	}
+	if _, _, err := (&Fleet{}).Acquire("", 0); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+}
+
+func TestBookAndLedger(t *testing.T) {
+	f := testFleet(t)
+	li := f.Book(0, "a", "synthesis", 0, 90.5)
+	l := f.Lease(0, li)
+	if l.Job != "a" || l.StartSec != 0 || l.EndSec != 90.5 {
+		t.Fatalf("lease %+v", l)
+	}
+	if want := f.Instances[0].Type.Cost(90.5); l.CostUSD != want {
+		t.Fatalf("lease cost %g, want %g", l.CostUSD, want)
+	}
+	f.Book(2, "b", "routing", 10, 200)
+	if got := f.TotalCostUSD(); math.Abs(got-(l.CostUSD+f.Instances[2].Type.Cost(200))) > 1e-12 {
+		t.Fatalf("fleet bill %g", got)
+	}
+	if f.HorizonSec() != 210 {
+		t.Fatalf("horizon %g", f.HorizonSec())
+	}
+	// Busy 90.5+200 over 3 instances x 210s horizon.
+	if got, want := f.Utilization(0), (90.5+200)/(3*210.0); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("utilization %g, want %g", got, want)
+	}
+	rows := f.Ledger(0)
+	if len(rows) != 3 || rows[0].Leases != 1 || rows[1].Leases != 0 || rows[2].BusySec != 200 {
+		t.Fatalf("ledger %+v", rows)
+	}
+	f.Reset()
+	if f.TotalCostUSD() != 0 || f.HorizonSec() != 0 || len(f.Instances[0].Leases) != 0 {
+		t.Fatal("Reset left state behind")
+	}
+}
+
+func TestExtendRebillsWholeLease(t *testing.T) {
+	f := testFleet(t)
+	f.Book(0, "a", "synthesis", 0, 40)
+	delta := f.Extend(0, "placement", 30)
+	l := f.Lease(0, 0)
+	if l.EndSec != 70 || l.Stage != "synthesis+placement" {
+		t.Fatalf("extended lease %+v", l)
+	}
+	typ := f.Instances[0].Type
+	if want := typ.Cost(70); l.CostUSD != want {
+		t.Fatalf("extended cost %g, want %g", l.CostUSD, want)
+	}
+	if want := typ.Cost(70) - typ.Cost(40); math.Abs(delta-want) > 1e-12 {
+		t.Fatalf("marginal %g, want %g", delta, want)
+	}
+	if f.Instances[0].FreeAtSec != 70 || f.Instances[0].BusySec != 70 {
+		t.Fatalf("instance state %+v", f.Instances[0])
+	}
+}
+
+// TestMinBillGranularity: the fleet ledger floors short leases at the
+// billing minimum, and extensions only start costing once the lease
+// grows past it.
+func TestMinBillGranularity(t *testing.T) {
+	c := DefaultCatalog().WithMinBill(60)
+	it, err := c.ByName("gp.1x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sub-minimum runtimes bill the floor; longer ones per second.
+	if got, want := it.Cost(0.2), 60*it.PricePerHour/3600; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Cost(0.2) = %g, want %g", got, want)
+	}
+	if got, want := it.Cost(59.9), 60*it.PricePerHour/3600; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Cost(59.9) = %g, want %g", got, want)
+	}
+	if got, want := it.Cost(120.5), 121*it.PricePerHour/3600; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Cost(120.5) = %g, want %g", got, want)
+	}
+	if it.Cost(0) != 0 {
+		t.Fatal("zero runtime should still cost nothing")
+	}
+
+	f := NewFleet(FleetEntry{Type: it, Count: 1})
+	f.Book(0, "a", "sta", 0, 10)
+	if got := f.Lease(0, 0).CostUSD; math.Abs(got-it.Cost(60)) > 1e-12 {
+		t.Fatalf("short lease billed %g, want the 60 s floor", got)
+	}
+	// Growing to 30 s stays inside the floor: zero marginal cost.
+	if delta := f.Extend(0, "sta2", 20); math.Abs(delta) > 1e-12 {
+		t.Fatalf("extension inside the floor billed %g", delta)
+	}
+	// Growing past the floor bills the excess.
+	delta := f.Extend(0, "sta3", 45)
+	if want := it.Cost(75) - it.Cost(60); math.Abs(delta-want) > 1e-12 {
+		t.Fatalf("past-floor extension billed %g, want %g", delta, want)
+	}
+	if got := f.TotalCostUSD(); math.Abs(got-it.Cost(75)) > 1e-12 {
+		t.Fatalf("ledger total %g, want %g", got, it.Cost(75))
+	}
+}

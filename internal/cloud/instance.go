@@ -49,17 +49,26 @@ type InstanceType struct {
 	LLCSliceMiB float64
 	// PricePerHour is the on-demand price in USD.
 	PricePerHour float64
+	// MinBillSec is the minimum billing granularity in seconds: any
+	// lease shorter than this is billed as if it ran this long (AWS
+	// per-second billing carries a 60 s minimum). 0 means pure
+	// per-second billing with no floor.
+	MinBillSec float64
 }
 
 // Cost returns the billed USD amount for occupying the instance for the
 // given runtime. Cloud billing is per second with no fractions — the
 // paper leans on this to make its knapsack times integral — so the
-// runtime is rounded up to whole seconds.
+// runtime is rounded up to whole seconds, and never below the
+// instance's minimum billing granularity.
 func (it InstanceType) Cost(seconds float64) float64 {
 	if seconds <= 0 {
 		return 0
 	}
 	billed := math.Ceil(seconds)
+	if billed < it.MinBillSec {
+		billed = it.MinBillSec
+	}
 	return billed * it.PricePerHour / 3600
 }
 
@@ -129,6 +138,19 @@ func (c *Catalog) Sizes(f Family) []InstanceType {
 		for j := i; j > 0 && out[j].VCPUs < out[j-1].VCPUs; j-- {
 			out[j], out[j-1] = out[j-1], out[j]
 		}
+	}
+	return out
+}
+
+// WithMinBill returns a copy of the catalog whose every instance type
+// bills with the given minimum granularity (seconds). The default
+// catalog bills purely per second so the paper's Table I calibration
+// is untouched; fleets that model realistic short-lease billing opt in
+// through this.
+func (c *Catalog) WithMinBill(seconds float64) *Catalog {
+	out := &Catalog{Types: append([]InstanceType(nil), c.Types...)}
+	for i := range out.Types {
+		out.Types[i].MinBillSec = seconds
 	}
 	return out
 }

@@ -5,7 +5,10 @@ import (
 	"math"
 
 	"edacloud/internal/cloud"
+	"edacloud/internal/designs"
+	"edacloud/internal/flow"
 	"edacloud/internal/mckp"
+	"edacloud/internal/techlib"
 )
 
 // StageChoice is one (stage, instance) runtime/cost point — one cell
@@ -81,6 +84,80 @@ func (p *Plan) String() string {
 		s += fmt.Sprintf("%s=%s", pick.Job, pick.Instance.Name)
 	}
 	return fmt.Sprintf("%s time=%ds cost=$%.2f", s, p.TotalTime, p.TotalCost)
+}
+
+// Pick returns the plan's choice for one stage.
+func (p *Plan) Pick(k JobKind) (StageChoice, error) {
+	for _, pick := range p.Picks {
+		if pick.Job == k {
+			return pick, nil
+		}
+	}
+	return StageChoice{}, fmt.Errorf("core: plan has no pick for stage %s", k)
+}
+
+// StagePlan converts the plan into the executable form the flow
+// scheduler's PlanPolicy consumes: one instance type per stage.
+func (p *Plan) StagePlan() (flow.StagePlan, error) {
+	if !p.Feasible {
+		return nil, fmt.Errorf("core: infeasible plan has no stage assignment")
+	}
+	sp := flow.StagePlan{}
+	for _, pick := range p.Picks {
+		sp[pick.Job] = pick.Instance
+	}
+	return sp, nil
+}
+
+// Fleet returns the minimal fleet able to execute the plan: one
+// instance of each distinct chosen type.
+func (p *Plan) Fleet() (*cloud.Fleet, error) {
+	if !p.Feasible {
+		return nil, fmt.Errorf("core: infeasible plan has no fleet")
+	}
+	var entries []cloud.FleetEntry
+	seen := map[string]bool{}
+	for _, pick := range p.Picks {
+		if seen[pick.Instance.Name] {
+			continue
+		}
+		seen[pick.Instance.Name] = true
+		entries = append(entries, cloud.FleetEntry{Type: pick.Instance, Count: 1})
+	}
+	return cloud.NewFleet(entries...), nil
+}
+
+// ExecutePlan runs the characterized design's flow with each stage
+// placed on its plan-chosen instance type over the given fleet (nil
+// means the plan's own minimal fleet) — the in-repo validation that
+// the MCKP optimizer's per-stage runtime and cost predictions match
+// what the fleet scheduler actually simulates. opts must carry the
+// same Scale/Recipe the characterization ran with so the regenerated
+// design and flow match the profiled one.
+func ExecutePlan(lib *techlib.Library, char *DesignCharacterization, plan *Plan, opts CharacterizeOptions, fleet *cloud.Fleet) (*flow.Schedule, error) {
+	opts = opts.withDefaults()
+	sp, err := plan.StagePlan()
+	if err != nil {
+		return nil, err
+	}
+	if fleet == nil {
+		if fleet, err = plan.Fleet(); err != nil {
+			return nil, err
+		}
+	}
+	g, err := designs.EvalDesign(char.Design, opts.Scale)
+	if err != nil {
+		return nil, err
+	}
+	sched := &flow.Scheduler{Workers: opts.Workers, Fleet: fleet, Policy: flow.PlanPolicy{}}
+	return sched.Run(nil, []flow.Job{{
+		Name:      char.Design,
+		Design:    g,
+		Lib:       lib,
+		Options:   []flow.Option{flow.WithRecipe(opts.Recipe)},
+		Plan:      sp,
+		WorkScale: char.WorkScale,
+	}})
 }
 
 func planFromSelection(prob *DeploymentProblem, sel mckp.Selection) *Plan {

@@ -34,16 +34,27 @@
 // custom implementation with WithStage. WithEvents streams progress
 // (stage started/finished) to a callback as the pipeline runs.
 //
-// # Scheduling flows onto cloud instances
+// # Scheduling flows onto a cloud fleet
 //
-// Scheduler runs independent flow jobs concurrently — the paper's
-// multi-tenant deployment scenario, where each design's flow rents its
-// own VM. Every Job names a cloud.InstanceType; its simulated runtime
-// comes from replaying the flow's perf.Reports through that instance's
-// machine model, its bill from the instance's per-second price, and
-// the Schedule aggregates cost, makespan and per-job deadline
-// outcomes. Fan-out uses internal/par and aggregates fold in job
-// order, so results are identical for any worker count.
+// Scheduler runs a batch of flow jobs over a bounded cloud.Fleet —
+// the paper's batch-deployment economics, where many jobs contend for
+// a finite pool of VMs and stages (not whole jobs) are the unit of
+// placement. The real compute (each job's pipeline) fans out across
+// host cores via internal/par; placement then happens in a serial
+// event-driven simulation in which jobs queue for instances, so
+// simulated start times, waits, bills and deadline outcomes are
+// deterministic for any worker count.
+//
+// A Policy decides which instance type each stage queues for:
+// SingleInstance reproduces the historical one-job-one-VM schedule
+// (the default, with a dedicated per-job fleet when Scheduler.Fleet is
+// nil), PlanPolicy executes a deployment optimizer's per-stage machine
+// selection (each job's StagePlan, re-instancing between stages), and
+// FirstFit is the greedy any-machine baseline. Simulated stage
+// runtimes come from replaying the flow's perf.Reports through the
+// granted instance's machine model; bills come from the fleet's lease
+// ledger under per-second pricing with optional minimum billing
+// granularity.
 //
 // core.RunFlow remains as a thin compatibility wrapper over a default
 // four-stage pipeline; new code should construct pipelines directly.

@@ -1,0 +1,83 @@
+package flow
+
+import (
+	"fmt"
+
+	"edacloud/internal/cloud"
+)
+
+// StagePlan maps each flow stage to the instance type it should run
+// on — an executable form of the deployment optimizer's per-stage
+// machine selection (core.Plan exports one).
+type StagePlan map[JobKind]cloud.InstanceType
+
+// Policy decides, per job and stage, which fleet instance type a stage
+// queues for. Choices are a pure function of the job and stage — never
+// of fleet congestion — so the expensive pipeline runs can fan out
+// across real cores while the placement simulation stays a serial,
+// deterministic event loop.
+type Policy interface {
+	// Name labels the policy in schedules and ledgers.
+	Name() string
+	// Choose returns the instance type stage k of the job queues for.
+	// A zero type (empty Name) queues for any fleet instance.
+	Choose(job *Job, k JobKind) (cloud.InstanceType, error)
+	// ReInstance reports whether the job releases its machine between
+	// stages (stage-level placement, the paper's per-stage machine
+	// selection) instead of holding one lease across the whole flow.
+	ReInstance() bool
+}
+
+// SingleInstance is the compatibility policy: every stage of a job
+// runs on the job's own Instance, held under one lease for the whole
+// flow — exactly the pre-fleet Scheduler behavior.
+type SingleInstance struct{}
+
+// Name implements Policy.
+func (SingleInstance) Name() string { return "single-instance" }
+
+// Choose implements Policy: always the job's Instance.
+func (SingleInstance) Choose(job *Job, k JobKind) (cloud.InstanceType, error) {
+	return job.Instance, nil
+}
+
+// ReInstance implements Policy: the job keeps its machine.
+func (SingleInstance) ReInstance() bool { return false }
+
+// PlanPolicy executes each job's StagePlan directly: stage k queues
+// for the plan's knapsack-chosen instance type and the job re-instances
+// between stages, which is what lets the MCKP optimizer's per-stage
+// predictions be validated against simulated runtimes in-repo.
+type PlanPolicy struct{}
+
+// Name implements Policy.
+func (PlanPolicy) Name() string { return "plan" }
+
+// Choose implements Policy: the job's plan entry for the stage.
+func (PlanPolicy) Choose(job *Job, k JobKind) (cloud.InstanceType, error) {
+	it, ok := job.Plan[k]
+	if !ok {
+		return cloud.InstanceType{}, fmt.Errorf("flow: job %q has no plan entry for stage %s", job.Name, k)
+	}
+	return it, nil
+}
+
+// ReInstance implements Policy: one lease per stage.
+func (PlanPolicy) ReInstance() bool { return true }
+
+// FirstFit is the greedy baseline: every stage queues for whichever
+// fleet instance becomes free earliest, whatever its type, and the job
+// re-instances between stages. It exploits the whole fleet but ignores
+// per-stage machine fit — the bar the plan policy is measured against.
+type FirstFit struct{}
+
+// Name implements Policy.
+func (FirstFit) Name() string { return "first-fit" }
+
+// Choose implements Policy: the zero type, i.e. any instance.
+func (FirstFit) Choose(job *Job, k JobKind) (cloud.InstanceType, error) {
+	return cloud.InstanceType{}, nil
+}
+
+// ReInstance implements Policy: one lease per stage.
+func (FirstFit) ReInstance() bool { return true }

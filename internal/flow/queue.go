@@ -1,0 +1,162 @@
+package flow
+
+import (
+	"edacloud/internal/cloud"
+)
+
+// This file is the scheduler's placement engine: a deterministic
+// event-driven simulation in which jobs queue for fleet instances and
+// stages — not whole jobs — are the unit of placement. It runs
+// serially after the parallel pipeline phase; every decision is a pure
+// function of (fleet state, job order, stage runtimes), so the
+// resulting schedule is bit-identical at any real worker count.
+
+// runner tracks one job's progress through the simulation.
+type runner struct {
+	p   *preparedJob
+	job *Job
+	// stage indexes the next entry of p.kinds to place.
+	stage int
+	// ready is the simulated time the next stage may start.
+	ready float64
+	// held is the fleet instance a non-re-instancing job keeps across
+	// stages; -1 before the first acquisition.
+	held int
+	// pinned forces the first acquisition onto one instance (the
+	// dedicated compatibility fleet); -1 means queue normally.
+	pinned int
+	// leases collects (instance, lease) refs for exact final billing.
+	leases [][2]int
+
+	started  bool
+	startSec float64
+	waitSec  float64
+}
+
+// simulate places every prepared job's stages onto the fleet and fills
+// in the placement fields of each preparedJob's result.
+func simulate(fleet *cloud.Fleet, policy Policy, jobs []Job, prepared []*preparedJob, pinned bool) {
+	var queue []*runner
+	for i := range prepared {
+		if prepared[i].res.Err != nil {
+			continue
+		}
+		if len(prepared[i].kinds) == 0 {
+			finalize(&prepared[i].res, &jobs[i], fleet, nil)
+			continue
+		}
+		r := &runner{p: prepared[i], job: &jobs[i], held: -1, pinned: -1}
+		if pinned {
+			r.pinned = i
+		}
+		queue = append(queue, r)
+	}
+
+	for len(queue) > 0 {
+		// The next event is the earliest-ready job; ties break toward
+		// the earlier job index (queue preserves job order and the scan
+		// keeps the first minimum).
+		best := 0
+		for i := 1; i < len(queue); i++ {
+			if queue[i].ready < queue[best].ready {
+				best = i
+			}
+		}
+		r := queue[best]
+		ok := placeNext(fleet, policy, r)
+		// A job holding its machine runs its whole flow back to back:
+		// nothing can use the held instance in between, so placing the
+		// remaining stages now keeps the fleet timeline conflict-free.
+		for ok && !policy.ReInstance() && r.stage < len(r.p.kinds) {
+			ok = placeNext(fleet, policy, r)
+		}
+		if !ok || r.stage == len(r.p.kinds) {
+			finalize(&r.p.res, r.job, fleet, r)
+			queue = append(queue[:best], queue[best+1:]...)
+		}
+	}
+}
+
+// placeNext places runner r's next stage on the fleet, reporting false
+// on an acquisition error (recorded in the job result). A held
+// instance (non-re-instancing policy) extends its existing lease; a
+// re-instancing job queues afresh for every stage.
+func placeNext(fleet *cloud.Fleet, policy Policy, r *runner) bool {
+	k := r.p.kinds[r.stage]
+	req := r.p.requests[k]
+
+	var instIdx int
+	var start float64
+	switch {
+	case r.held >= 0:
+		instIdx, start = r.held, r.ready
+	case r.pinned >= 0:
+		instIdx = r.pinned
+		start = fleet.Instances[instIdx].FreeAtSec
+		if start < r.ready {
+			start = r.ready
+		}
+	default:
+		var err error
+		instIdx, start, err = fleet.Acquire(req.Name, r.ready)
+		if err != nil {
+			r.p.res.Err = err
+			return false
+		}
+	}
+	inst := fleet.Instances[instIdx]
+
+	dur := jobMachine(r.job, inst.Type).Seconds(r.p.res.Run.Reports[k])
+	var cost float64
+	if r.held >= 0 {
+		cost = fleet.Extend(instIdx, k.String(), dur)
+	} else {
+		li := fleet.Book(instIdx, r.job.Name, k.String(), start, dur)
+		r.leases = append(r.leases, [2]int{instIdx, li})
+		cost = fleet.Lease(instIdx, li).CostUSD
+		if !policy.ReInstance() {
+			r.held = instIdx
+		}
+	}
+
+	if !r.started {
+		r.started = true
+		r.startSec = start
+	}
+	res := &r.p.res
+	res.Stages = append(res.Stages, StageResult{
+		Kind:     k,
+		Instance: inst.ID,
+		Type:     inst.Type,
+		StartSec: start,
+		WaitSec:  start - r.ready,
+		Seconds:  dur,
+		CostUSD:  cost,
+	})
+	res.Seconds += dur
+	r.waitSec += start - r.ready
+	r.ready = start + dur
+	r.stage++
+	return true
+}
+
+// finalize fills a job result's schedule aggregates once its last
+// stage is placed (or it never entered the queue). Costs re-sum the
+// final lease bills rather than folding marginal extensions, so a
+// held-and-extended lease bills exactly its total duration.
+func finalize(res *JobResult, job *Job, fleet *cloud.Fleet, r *runner) {
+	if r != nil {
+		res.StartSec = r.startSec
+		res.FinishSec = r.ready
+		res.WaitSec = r.waitSec
+		res.CostUSD = 0
+		for _, ref := range r.leases {
+			res.CostUSD += fleet.Lease(ref[0], ref[1]).CostUSD
+		}
+	}
+	if res.Err != nil {
+		res.DeadlineMet = false
+		return
+	}
+	res.DeadlineMet = job.DeadlineSec <= 0 || res.FinishSec <= job.DeadlineSec
+}

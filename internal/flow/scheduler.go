@@ -11,11 +11,13 @@ import (
 	"edacloud/internal/techlib"
 )
 
-// Job is one flow to run on one rented cloud instance — the unit of
-// the paper's deployment problem. The zero Instance is a free
-// single-vCPU machine, useful in tests.
+// Job is one flow to run against the scheduler's fleet — the unit of
+// the paper's deployment problem. Under the default SingleInstance
+// policy the job rents its Instance for the whole flow; under a
+// stage-level policy each stage queues for its own machine. The zero
+// Instance is a free single-vCPU machine, useful in tests.
 type Job struct {
-	// Name labels the job in results.
+	// Name labels the job in results and fleet leases.
 	Name string
 	// Design is the input AIG; the scheduler clones it per run, so one
 	// graph may back many jobs.
@@ -26,11 +28,17 @@ type Job struct {
 	// shared context and an instance-sized probe factory, so options
 	// here override both (e.g. WithStages for a partial flow).
 	Options []Option
-	// Instance is the VM the job rents: its vCPU count and AVX
-	// capability drive the simulated runtime, its price the bill.
+	// Instance is the VM the job rents under the SingleInstance policy
+	// (and the probe-sizing fallback when a policy requests "any"
+	// machine): its vCPU count and AVX capability drive the simulated
+	// runtime, its price the bill.
 	Instance cloud.InstanceType
+	// Plan maps stages to instance types for the PlanPolicy — the
+	// executable form of a deployment optimizer plan.
+	Plan StagePlan
 	// DeadlineSec is the job's completion deadline in simulated
-	// seconds; 0 means none.
+	// seconds, measured against FinishSec (queueing included); 0 means
+	// none.
 	DeadlineSec float64
 	// Interference is the multi-tenant slowdown on the job's host (see
 	// cloud.Host.Interference); 0 means an idle host.
@@ -38,6 +46,24 @@ type Job struct {
 	// WorkScale extrapolates simulated runtime to full design size;
 	// 0 means 1 (no extrapolation).
 	WorkScale float64
+}
+
+// StageResult is one stage's placement in the simulated schedule.
+type StageResult struct {
+	Kind JobKind
+	// Instance is the fleet instance ID the stage ran on, Type its
+	// instance type.
+	Instance string
+	Type     cloud.InstanceType
+	// StartSec is when the stage began; WaitSec is how long it queued
+	// for its machine beyond its ready time.
+	StartSec float64
+	WaitSec  float64
+	// Seconds is the stage's simulated runtime on its instance.
+	Seconds float64
+	// CostUSD is the stage's lease bill; for a job holding one machine
+	// across stages it is the marginal bill of extending the lease.
+	CostUSD float64
 }
 
 // JobResult is one job's outcome.
@@ -48,13 +74,21 @@ type JobResult struct {
 	// completed stages produced.
 	Run *RunContext
 	Err error
-	// Seconds is the simulated runtime of the whole flow on the job's
-	// instance.
+	// Stages records the per-stage placements in execution order.
+	Stages []StageResult
+	// Seconds is the busy machine time: the sum of the stage runtimes
+	// on their instances. Bills can exceed it under a minimum billing
+	// granularity (cloud.InstanceType.MinBillSec).
 	Seconds float64
-	// CostUSD is the instance's per-second bill for that runtime.
+	// StartSec and FinishSec bound the job in simulated batch time;
+	// WaitSec totals the time spent queueing for machines, so
+	// FinishSec-StartSec-Seconds is the job's internal wait.
+	StartSec, FinishSec, WaitSec float64
+	// CostUSD sums the job's lease bills.
 	CostUSD float64
-	// DeadlineMet reports whether the job finished within its deadline
-	// (always false on error; true when no deadline was set).
+	// DeadlineMet reports whether the job finished (FinishSec) within
+	// its deadline (always false on error; true when no deadline was
+	// set).
 	DeadlineMet bool
 }
 
@@ -62,29 +96,64 @@ type JobResult struct {
 // order, so they are identical for any scheduler worker count.
 type Schedule struct {
 	Jobs []JobResult
+	// Policy names the placement policy the schedule ran under.
+	Policy string
+	// Fleet is the instance pool the schedule ran on — the internally
+	// built one-instance-per-job pool when Scheduler.Fleet was nil —
+	// with its lease timelines and cost ledger filled in.
+	Fleet *cloud.Fleet
 	// TotalCostUSD is the batch bill across all instances.
 	TotalCostUSD float64
-	// TotalCPUSeconds sums simulated runtime over instances (the
-	// billed machine time).
+	// TotalCPUSeconds sums simulated busy runtime over instances; the
+	// bill follows it except where a minimum billing granularity floors
+	// short leases.
 	TotalCPUSeconds float64
-	// MakespanSec is the slowest job's runtime — the batch completion
-	// time, since every job runs on its own instance.
+	// MakespanSec is the latest job finish time — the batch completion
+	// time.
 	MakespanSec float64
+	// TotalWaitSec sums the jobs' queueing time — zero on an unbounded
+	// (dedicated) fleet, the contention signal on a bounded one.
+	TotalWaitSec float64
+	// UtilizationPct is the fleet's busy share over the makespan.
+	UtilizationPct float64
 	// DeadlinesMissed counts jobs that finished past their deadline.
 	DeadlinesMissed int
 	// Failed counts jobs that returned an error.
 	Failed int
 }
 
-// Scheduler runs independent flow jobs concurrently, each on its own
-// simulated cloud instance — the multi-job deployment the paper
-// optimizes for. Real host fan-out uses internal/par; simulated
-// runtimes, costs and deadlines come from each job's instance model
-// and are deterministic for any worker count.
+// Scheduler runs flow jobs over a bounded fleet of simulated cloud
+// instances — the multi-job batch deployment the paper optimizes for.
+// The expensive pipeline runs fan out across the real host's cores via
+// internal/par; instance placement happens afterwards in a serial
+// event-driven simulation over the fleet, so simulated start times,
+// waits, costs and deadlines are deterministic for any worker count.
+//
+// The zero Scheduler reproduces the historical behavior: every job on
+// its own dedicated instance (an unbounded fleet) under the
+// SingleInstance policy.
 type Scheduler struct {
 	// Workers bounds how many jobs run concurrently on the real host;
 	// 0 means GOMAXPROCS. Results are identical for every value.
 	Workers int
+	// Fleet is the bounded instance pool jobs contend for. nil builds a
+	// dedicated pool with one instance per job (each job's own
+	// Instance), which never queues. A caller-supplied fleet is mutated
+	// with the schedule's leases; Reset it before reuse.
+	Fleet *cloud.Fleet
+	// Policy decides which instance type each stage queues for; nil
+	// means SingleInstance. Stage-level policies (ReInstance true)
+	// require an explicit Fleet.
+	Policy Policy
+}
+
+// preparedJob is the phase-1 output for one job: its executed
+// artifacts and reports plus the policy's per-stage instance requests,
+// ready for the placement simulation.
+type preparedJob struct {
+	res      JobResult
+	kinds    []JobKind
+	requests map[JobKind]cloud.InstanceType
 }
 
 // Run executes the jobs and returns the aggregated schedule. A
@@ -94,17 +163,44 @@ func (s *Scheduler) Run(ctx context.Context, jobs []Job) (*Schedule, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	policy := s.Policy
+	if policy == nil {
+		policy = SingleInstance{}
+	}
+	fleet := s.Fleet
+	if fleet == nil {
+		if policy.ReInstance() {
+			return nil, fmt.Errorf("flow: policy %s re-instances between stages and needs an explicit Fleet", policy.Name())
+		}
+		entries := make([]cloud.FleetEntry, len(jobs))
+		for i := range jobs {
+			entries[i] = cloud.FleetEntry{Type: jobs[i].Instance, Count: 1}
+		}
+		fleet = cloud.NewFleet(entries...)
+	}
+
+	// Phase 1: run every job's pipeline (the real compute) in parallel.
 	pool := par.Fixed(s.Workers)
-	results := par.Map(pool, len(jobs), func(i int) JobResult {
-		return runJob(ctx, jobs[i])
+	prepared := par.Map(pool, len(jobs), func(i int) *preparedJob {
+		return prepare(ctx, &jobs[i], policy)
 	})
-	sched := &Schedule{Jobs: results}
-	for i := range results {
-		r := &results[i]
+
+	// Phase 2: place stages onto the fleet in a serial, deterministic
+	// event simulation. With the internally built dedicated fleet, job
+	// i is pinned to instance i, reproducing the historical
+	// one-job-one-instance schedule exactly.
+	pinned := s.Fleet == nil
+	simulate(fleet, policy, jobs, prepared, pinned)
+
+	sched := &Schedule{Policy: policy.Name(), Fleet: fleet}
+	for i := range prepared {
+		r := &prepared[i].res
+		sched.Jobs = append(sched.Jobs, *r)
 		sched.TotalCostUSD += r.CostUSD
 		sched.TotalCPUSeconds += r.Seconds
-		if r.Seconds > sched.MakespanSec {
-			sched.MakespanSec = r.Seconds
+		sched.TotalWaitSec += r.WaitSec
+		if r.FinishSec > sched.MakespanSec {
+			sched.MakespanSec = r.FinishSec
 		}
 		if r.Err != nil {
 			sched.Failed++
@@ -114,39 +210,92 @@ func (s *Scheduler) Run(ctx context.Context, jobs []Job) (*Schedule, error) {
 			sched.DeadlinesMissed++
 		}
 	}
+	sched.UtilizationPct = 100 * fleet.Utilization(sched.MakespanSec)
 	return sched, ctx.Err()
 }
 
-// runJob executes one flow on its instance's machine model.
-func runJob(ctx context.Context, job Job) JobResult {
-	res := JobResult{Name: job.Name, Instance: job.Instance}
+// prepare runs one job's pipeline with per-stage probes sized to the
+// policy's requested instance types, and collects the stage kinds and
+// requests the placement simulation needs. It performs no fleet
+// accounting — everything here is independent per job, which is what
+// lets phase 1 fan out across cores.
+func prepare(ctx context.Context, job *Job, policy Policy) *preparedJob {
+	p := &preparedJob{res: JobResult{Name: job.Name, Instance: job.Instance}}
 	if err := ctx.Err(); err != nil {
-		res.Err = err
-		return res
+		p.res.Err = err
+		return p
 	}
 	if job.Design == nil || job.Lib == nil {
-		res.Err = fmt.Errorf("flow: job %q needs a design and a library", job.Name)
-		return res
+		p.res.Err = fmt.Errorf("flow: job %q needs a design and a library", job.Name)
+		return p
 	}
-	vcpus := job.Instance.VCPUs
+
+	estCells := EstimateCells(job.Design.NumAnds())
+	p.requests = map[JobKind]cloud.InstanceType{}
+	opts := append([]Option{
+		WithContext(ctx),
+		WithNewProbe(func(k JobKind) *perf.Probe {
+			return NewJobProbe(probeVCPUs(job, p.requests[k]), estCells)
+		}),
+	}, job.Options...)
+	pipe := NewPipeline(opts...)
+
+	// The pipeline's stage list determines which stages will run;
+	// resolve the policy's per-stage instance requests before running
+	// so each stage's probe is sized to the machine it is destined for
+	// (the probe factory above reads the map lazily).
+	for _, st := range pipe.Stages() {
+		k := st.Kind()
+		if _, ok := p.requests[k]; ok {
+			continue
+		}
+		it, err := policy.Choose(job, k)
+		if err != nil {
+			p.res.Err = err
+			return p
+		}
+		p.requests[k] = it
+	}
+
+	rc, err := pipe.Run(job.Design.Clone(), job.Lib)
+	p.res.Run = rc
+	if err != nil {
+		p.res.Err = err
+		return p
+	}
+	// Fixed kind order keeps stage sequencing — and therefore every
+	// floating-point sum over stages — independent of which stages ran.
+	for _, k := range JobKinds() {
+		if rc.Reports[k] != nil {
+			p.kinds = append(p.kinds, k)
+		}
+	}
+	return p
+}
+
+// probeVCPUs sizes a stage's instrumentation: the requested instance's
+// vCPU count, falling back to the job's own instance (a policy that
+// requests "any" machine profiles at the job's nominal size) and then
+// to a single vCPU.
+func probeVCPUs(job *Job, req cloud.InstanceType) int {
+	if req.VCPUs > 0 {
+		return req.VCPUs
+	}
+	if job.Instance.VCPUs > 0 {
+		return job.Instance.VCPUs
+	}
+	return 1
+}
+
+// jobMachine builds the cycle model of one instance type running one
+// job's stages.
+func jobMachine(job *Job, it cloud.InstanceType) perf.Machine {
+	vcpus := it.VCPUs
 	if vcpus <= 0 {
 		vcpus = 1
 	}
-	estCells := EstimateCells(job.Design.NumAnds())
-	opts := append([]Option{
-		WithContext(ctx),
-		WithNewProbe(func(JobKind) *perf.Probe { return NewJobProbe(vcpus, estCells) }),
-	}, job.Options...)
-	p := NewPipeline(opts...)
-	rc, err := p.Run(job.Design.Clone(), job.Lib)
-	res.Run = rc
-	if err != nil {
-		res.Err = err
-		return res
-	}
-
 	m := perf.Xeon14(vcpus)
-	if !job.Instance.AVX {
+	if !it.AVX {
 		m = m.WithoutAVX()
 	}
 	m.Interference = job.Interference
@@ -154,14 +303,5 @@ func runJob(ctx context.Context, job Job) JobResult {
 	if m.WorkScale == 0 {
 		m.WorkScale = 1
 	}
-	// Fixed kind order keeps the floating-point sum order independent
-	// of which stages ran.
-	for _, k := range JobKinds() {
-		if r := rc.Reports[k]; r != nil {
-			res.Seconds += m.Seconds(r)
-		}
-	}
-	res.CostUSD = job.Instance.Cost(res.Seconds)
-	res.DeadlineMet = job.DeadlineSec <= 0 || res.Seconds <= job.DeadlineSec
-	return res
+	return m
 }

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"edacloud/internal/ints"
 	"edacloud/internal/mat"
@@ -72,6 +73,43 @@ type Graph struct {
 	// Pred[PredStart[v]:PredStart[v+1]].
 	PredStart []int32
 	Pred      []int32
+
+	// Forward (successor) CSR mirror of Pred, built lazily: successors
+	// of node u are succ[succStart[u]:succStart[u+1]] in ascending
+	// order. It turns the backward scatter into a row-parallel gather
+	// (see aggregateBack).
+	succOnce  sync.Once
+	succStart []int32
+	succ      []int32
+}
+
+// forwardCSR returns the successor layout, building it on first use.
+// Successors of each node come out in ascending order — the same order
+// the edge scatter visited them — so gathers over this layout
+// accumulate bit-identically to the original serial sweep.
+func (g *Graph) forwardCSR() ([]int32, []int32) {
+	g.succOnce.Do(func() {
+		n := len(g.PredStart) - 1
+		count := make([]int32, n+1)
+		for v := 0; v < n; v++ {
+			for _, u := range g.Pred[g.PredStart[v]:g.PredStart[v+1]] {
+				count[u+1]++
+			}
+		}
+		for i := 0; i < n; i++ {
+			count[i+1] += count[i]
+		}
+		succ := make([]int32, len(g.Pred))
+		cursor := make([]int32, n)
+		for v := 0; v < n; v++ {
+			for _, u := range g.Pred[g.PredStart[v]:g.PredStart[v+1]] {
+				succ[count[u]+cursor[u]] = int32(v)
+				cursor[u]++
+			}
+		}
+		g.succStart, g.succ = count, succ
+	})
+	return g.succStart, g.succ
 }
 
 // FromStarGraph converts a netlist/AIG star-model export into model
@@ -130,24 +168,31 @@ func aggGrain(cols int) int {
 	return ints.Max(1, (32<<10)/ints.Max(cols, 1))
 }
 
-// aggregateBack scatters gradients through the aggregation: for each
-// edge u->v, dH[u] += dAgg[v]/indeg(v).
-func (g *Graph) aggregateBack(dAgg, dH *mat.Dense) {
-	n := dAgg.Rows
-	for v := 0; v < n; v++ {
-		lo, hi := g.PredStart[v], g.PredStart[v+1]
-		if lo == hi {
-			continue
-		}
-		inv := 1 / float64(hi-lo)
-		aRow := dAgg.Row(v)
-		for _, u := range g.Pred[lo:hi] {
-			uRow := dH.Row(int(u))
-			for j, av := range aRow {
-				uRow[j] += av * inv
+// aggregateBack propagates gradients through the aggregation: for each
+// edge u->v, dH[u] += dAgg[v]/indeg(v). The edge-wise scatter writes
+// through shared dH rows, so instead of scattering it gathers over the
+// forward (successor) CSR: each dH row reads only its successors'
+// dAgg rows, making the node loop row-parallel. Successors come out in
+// the same ascending order the serial scatter visited them, so the
+// accumulation is bit-identical at any worker count.
+func (g *Graph) aggregateBack(p *par.Pool, dAgg, dH *mat.Dense) {
+	succStart, succ := g.forwardCSR()
+	p.For(dH.Rows, aggGrain(dAgg.Cols), func(ulo, uhi int) {
+		for u := ulo; u < uhi; u++ {
+			lo, hi := succStart[u], succStart[u+1]
+			if lo == hi {
+				continue
+			}
+			uRow := dH.Row(u)
+			for _, v := range succ[lo:hi] {
+				inv := 1 / float64(g.PredStart[v+1]-g.PredStart[v])
+				aRow := dAgg.Row(int(v))
+				for j, av := range aRow {
+					uRow[j] += av * inv
+				}
 			}
 		}
-	}
+	})
 }
 
 // Model is the trained predictor.
@@ -317,7 +362,7 @@ func (m *Model) backward(st *forwardState, target []float64, gr *grads) float64 
 	mat.AddInPlace(gr.dB2, mat.MulATBPool(m.pool, st.h1, dH2, nil))
 	dAgg2 := mat.MulABTPool(m.pool, dH2, m.W2, nil)
 	dH1 := mat.MulABTPool(m.pool, dH2, m.B2, nil)
-	st.g.aggregateBack(dAgg2, dH1)
+	st.g.aggregateBack(m.pool, dAgg2, dH1)
 	mat.MulElem(dH1, st.mask1)
 
 	// Layer 1: h1 = agg1*W1 + X*B1.

@@ -76,7 +76,7 @@ func TestAggregateBackScattersEvenly(t *testing.T) {
 	g := FromStarGraph(sg)
 	dAgg := mat.FromRows([][]float64{{0}, {0}, {6}})
 	dH := mat.New(3, 1)
-	g.aggregateBack(dAgg, dH)
+	g.aggregateBack(nil, dAgg, dH)
 	if dH.At(0, 0) != 3 || dH.At(1, 0) != 3 {
 		t.Fatalf("backward scatter wrong: %v", dH.Data)
 	}

@@ -205,6 +205,134 @@ func TestQuickGreedyNeverBeatsDP(t *testing.T) {
 	}
 }
 
+// Property: the DP's min cost lower-bounds every feasible plan — the
+// greedy heuristic's and any randomly sampled selection's.
+func TestQuickDPLowerBoundsSampledPlans(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nClasses := rng.Intn(4) + 2
+		classes := make([]Class, nClasses)
+		for l := range classes {
+			n := rng.Intn(4) + 1
+			for j := 0; j < n; j++ {
+				classes[l].Items = append(classes[l].Items, Item{
+					TimeSec: rng.Intn(60),
+					Cost:    float64(rng.Intn(200)) / 10,
+				})
+			}
+		}
+		deadline := rng.Intn(200)
+		dp, err := SolveMinCost(classes, deadline)
+		if err != nil {
+			return false
+		}
+		gr, err := SolveGreedy(classes, deadline)
+		if err != nil {
+			return false
+		}
+		if gr.Feasible && dp.Feasible && gr.TotalCost < dp.TotalCost-1e-9 {
+			return false // greedy beat the "optimal" DP
+		}
+		// Sample random selections; every feasible one must cost at
+		// least the DP optimum, and if any is feasible the DP must be.
+		for s := 0; s < 50; s++ {
+			t, c := 0, 0.0
+			for l := range classes {
+				it := classes[l].Items[rng.Intn(len(classes[l].Items))]
+				t += it.TimeSec
+				c += it.Cost
+			}
+			if t > deadline {
+				continue
+			}
+			if !dp.Feasible {
+				return false // a feasible plan exists but the DP found none
+			}
+			if c < dp.TotalCost-1e-9 {
+				return false // a sampled plan beat the DP
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroDeadlineNonzeroTimes(t *testing.T) {
+	classes := []Class{
+		{Name: "a", Items: []Item{{TimeSec: 1, Cost: 1}}},
+		{Name: "b", Items: []Item{{TimeSec: 0, Cost: 1}}},
+	}
+	for name, solve := range map[string]func([]Class, int) (Selection, error){
+		"dp": SolveMinCost, "paper": SolvePaper, "greedy": SolveGreedy,
+	} {
+		sel, err := solve(classes, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sel.Feasible {
+			t.Fatalf("%s: zero deadline with a mandatory 1s item reported feasible", name)
+		}
+	}
+}
+
+func TestEmptyClassAmongNonEmpty(t *testing.T) {
+	classes := []Class{
+		{Name: "full", Items: []Item{{TimeSec: 1, Cost: 1}}},
+		{Name: "empty"},
+	}
+	for name, solve := range map[string]func([]Class, int) (Selection, error){
+		"dp": SolveMinCost, "paper": SolvePaper, "greedy": SolveGreedy,
+	} {
+		if _, err := solve(classes, 10); err == nil {
+			t.Fatalf("%s: empty class among non-empty ones accepted", name)
+		}
+	}
+}
+
+// TestSelectionExport: solved plans export as labeled picks in class
+// order; infeasible and mismatched selections refuse to.
+func TestSelectionExport(t *testing.T) {
+	classes := paperClasses()
+	sel, err := SolveMinCost(classes, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	picks, err := sel.Export(classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picks) != len(classes) {
+		t.Fatalf("%d picks for %d classes", len(picks), len(classes))
+	}
+	var time int
+	var cost float64
+	for l, p := range picks {
+		if p.Class != classes[l].Name {
+			t.Fatalf("pick %d class %q, want %q", l, p.Class, classes[l].Name)
+		}
+		it := classes[l].Items[sel.Pick[l]]
+		if p.Label != it.Label || p.TimeSec != it.TimeSec || p.Cost != it.Cost {
+			t.Fatalf("pick %d = %+v, item %+v", l, p, it)
+		}
+		time += p.TimeSec
+		cost += p.Cost
+	}
+	if time != sel.TotalTime || math.Abs(cost-sel.TotalCost) > 1e-9 {
+		t.Fatalf("export totals %d/%f vs selection %d/%f", time, cost, sel.TotalTime, sel.TotalCost)
+	}
+	if _, err := (Selection{Feasible: false}).Export(classes); err == nil {
+		t.Fatal("infeasible selection exported")
+	}
+	if _, err := (Selection{Feasible: true, Pick: []int{0}}).Export(classes); err == nil {
+		t.Fatal("mismatched pick length exported")
+	}
+	if _, err := (Selection{Feasible: true, Pick: []int{9, 0, 0, 0}}).Export(classes); err == nil {
+		t.Fatal("out-of-range pick exported")
+	}
+}
+
 func TestFixedProvisionBaselines(t *testing.T) {
 	classes := paperClasses()
 	over, err := FixedProvision(classes, Fastest)
