@@ -671,3 +671,61 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkBatchOptimize is the smoke benchmark of the batch
+// co-optimizer: a synthetic batch of jobs with 4-stage choice tables
+// co-optimized against a shared capacity profile through the full
+// Lagrangian price loop and round-robin repair. It prints the job
+// count, fleet size and core count so CI runs are self-describing;
+// the optimizer is pure integer/float arithmetic, so its result is
+// identical everywhere.
+func BenchmarkBatchOptimize(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	labels := []string{"gp.1x", "gp.8x", "mem.1x", "mem.8x"}
+	capacity := mckp.Capacity{"gp.1x": 1, "gp.8x": 1, "mem.1x": 2, "mem.8x": 1}
+	const nJobs = 12
+	jobs := make([]mckp.BatchJob, nJobs)
+	for i := range jobs {
+		job := mckp.BatchJob{Name: fmt.Sprintf("job%d", i)}
+		var serial int
+		for s := 0; s < 4; s++ {
+			cl := mckp.Class{Name: fmt.Sprintf("stage%d", s)}
+			base := rng.Intn(80) + 20
+			for j, label := range labels {
+				// Bigger machines: faster and pricier, like the catalog.
+				t := base / (j + 1)
+				cl.Items = append(cl.Items, mckp.Item{
+					Label:   label,
+					TimeSec: t,
+					Cost:    float64(t) * (0.5 + 0.6*float64(j)) / 100,
+				})
+			}
+			serial += cl.Items[0].TimeSec
+			job.Classes = append(job.Classes, cl)
+		}
+		// Deadlines tight enough that contention forces real repricing.
+		job.DeadlineSec = serial + serial/4
+		jobs[i] = job
+	}
+	fleetSize := 0
+	for _, n := range capacity {
+		fleetSize += n
+	}
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		sel, err := mckp.BatchOptimize(jobs, capacity)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !sel.Feasible {
+			b.Fatal("synthetic batch infeasible")
+		}
+		elapsed := time.Since(start)
+		b.ReportMetric(float64(nJobs)/elapsed.Seconds(), "jobs/s")
+		if i == 0 {
+			fmt.Printf("\nBatchOptimize cores=%d jobs=%d fleet=%d machines method=%s rounds=%d missed=%d cost=$%.4f makespan=%ds wall=%v\n",
+				runtime.GOMAXPROCS(0), nJobs, fleetSize, sel.Method, sel.Rounds,
+				sel.MissedDeadlines, sel.TotalCost, sel.MakespanSec, elapsed.Round(time.Microsecond))
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"flag"
+	"testing"
+
+	"edacloud/internal/clitest"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// TestAdaptiveFleetGolden pins the -fleet -policy adaptive mode's
+// stdout end to end: the co-optimized plans, the contended schedule
+// with its per-stage placements (where adaptive upgrades are visible
+// as off-plan instances), and the fleet ledger.
+func TestAdaptiveFleetGolden(t *testing.T) {
+	bin := clitest.Build(t, "")
+	got := clitest.Run(t, bin,
+		"-design", "ibex",
+		"-scale", "0.03",
+		"-fleet", "gp.1x=1,gp.8x=1,mem.1x=1,mem.8x=1",
+		"-batch", "3",
+		"-policy", "adaptive",
+	)
+	clitest.Golden(t, "testdata/adaptive_fleet.golden", got, *update)
+}

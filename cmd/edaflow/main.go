@@ -13,6 +13,7 @@
 //	edaflow -design ibex -stages synthesis,sta
 //	edaflow -design ibex -fleet mem.8x=2 -batch 4 -instance mem.8x
 //	edaflow -design aes -fleet gp.4x=1,mem.8x=1 -batch 3 -policy firstfit -minbill 60
+//	edaflow -design ibex -fleet gp.1x=1,gp.8x=1,mem.1x=1,mem.8x=1 -batch 3 -policy adaptive
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 
 	"edacloud/internal/aig"
 	"edacloud/internal/cloud"
+	"edacloud/internal/core"
 	"edacloud/internal/designs"
 	"edacloud/internal/flow"
 	"edacloud/internal/perf"
@@ -46,7 +48,7 @@ func main() {
 	fleetSpec := flag.String("fleet", "", "schedule a batch over this bounded fleet (name=count,...) instead of one local run")
 	batch := flag.Int("batch", 4, "number of flow copies in the -fleet batch")
 	instName := flag.String("instance", "mem.4x", "instance type each batch job nominally rents (single policy)")
-	policyName := flag.String("policy", "single", "fleet placement policy: single (job keeps one machine) or firstfit (greedy any-machine, per stage)")
+	policyName := flag.String("policy", "single", "fleet placement policy: single (job keeps one machine), firstfit (greedy any-machine, per stage), or adaptive (co-optimized stage plans, upgrading when queueing eats a job's slack; needs -design)")
 	minBill := flag.Float64("minbill", 0, "minimum billing granularity in seconds (0 = pure per-second)")
 	deadlineSec := flag.Float64("deadline", 0, "per-job completion deadline in simulated seconds (0 = none)")
 	flag.Parse()
@@ -79,6 +81,7 @@ func main() {
 			fleetSpec: *fleetSpec, batch: *batch, instance: *instName,
 			policy: *policyName, minBill: *minBill, deadline: *deadlineSec,
 			workers: *workers, registers: *registers, clock: *clock,
+			design: *design, scale: *scale,
 		})
 		return
 	}
@@ -156,11 +159,18 @@ type batchConfig struct {
 	workers   int
 	registers bool
 	clock     float64
+	// design and scale identify the evaluation design for the adaptive
+	// policy, which must re-characterize it to build choice tables.
+	design string
+	scale  float64
 }
 
 // runFleetBatch schedules copies of the configured flow over a bounded
 // fleet — the paper's batch-deployment scenario — and prints the
-// contended schedule plus the fleet's utilization/cost ledger.
+// contended schedule plus the fleet's utilization/cost ledger. The
+// adaptive policy first co-optimizes the copies' stage plans against
+// the fleet (core.OptimizeBatch) and lets queue-starved stages upgrade
+// within their choice tables at placement time.
 func runFleetBatch(g *aig.Graph, lib *techlib.Library, recipe synth.Recipe, stageList []flow.Stage, cfg batchConfig) {
 	catalog := cloud.DefaultCatalog()
 	if cfg.minBill > 0 {
@@ -170,45 +180,55 @@ func runFleetBatch(g *aig.Graph, lib *techlib.Library, recipe synth.Recipe, stag
 	if err != nil {
 		fail(err)
 	}
-	inst, err := catalog.ByName(cfg.instance)
-	if err != nil {
-		fail(err)
-	}
-	var policy flow.Policy
-	switch cfg.policy {
-	case "single":
-		policy = flow.SingleInstance{}
-	case "firstfit":
-		policy = flow.FirstFit{}
-	default:
-		fail(fmt.Errorf("unknown policy %q (want single or firstfit)", cfg.policy))
-	}
 
-	opts := []flow.Option{
-		flow.WithRecipe(recipe),
-		flow.WithRegisterOutputs(cfg.registers),
-		flow.WithClockPeriodNs(cfg.clock),
-	}
-	if stageList != nil {
-		opts = append(opts, flow.WithStages(stageList...))
-	}
-	var jobs []flow.Job
-	for i := 0; i < cfg.batch; i++ {
-		jobs = append(jobs, flow.Job{
-			Name:        fmt.Sprintf("%s#%d", g.Name, i),
-			Design:      g,
-			Lib:         lib,
-			Options:     opts,
-			Instance:    inst,
-			DeadlineSec: cfg.deadline,
-			// Extrapolate the reduced-scale simulation to full-flow
-			// magnitudes (the dataset generator's representative factor).
-			WorkScale: 2e4,
-		})
-	}
-	sched, err := (&flow.Scheduler{Workers: cfg.workers, Fleet: fleet, Policy: policy}).Run(nil, jobs)
-	if err != nil {
-		fail(err)
+	var sched *flow.Schedule
+	perJobDeadlines := cfg.deadline > 0
+	switch cfg.policy {
+	case "single", "firstfit":
+		inst, err := catalog.ByName(cfg.instance)
+		if err != nil {
+			fail(err)
+		}
+		policy := flow.Policy(flow.SingleInstance{})
+		if cfg.policy == "firstfit" {
+			policy = flow.FirstFit{}
+		}
+		opts := []flow.Option{
+			flow.WithRecipe(recipe),
+			flow.WithRegisterOutputs(cfg.registers),
+			flow.WithClockPeriodNs(cfg.clock),
+		}
+		if stageList != nil {
+			opts = append(opts, flow.WithStages(stageList...))
+		}
+		var jobs []flow.Job
+		for i := 0; i < cfg.batch; i++ {
+			jobs = append(jobs, flow.Job{
+				Name:        fmt.Sprintf("%s#%d", g.Name, i),
+				Design:      g,
+				Lib:         lib,
+				Options:     opts,
+				Instance:    inst,
+				DeadlineSec: cfg.deadline,
+				// Extrapolate the reduced-scale simulation to full-flow
+				// magnitudes (the dataset generator's representative factor).
+				WorkScale: 2e4,
+			})
+		}
+		if sched, err = (&flow.Scheduler{Workers: cfg.workers, Fleet: fleet, Policy: policy}).Run(nil, jobs); err != nil {
+			fail(err)
+		}
+	case "adaptive":
+		// The adaptive path executes through core.ExecuteBatchPlan,
+		// which always runs the full default flow at the default clock:
+		// flags it would silently drop are rejected instead.
+		if stageList != nil || cfg.registers || cfg.clock != 1.0 {
+			fail(fmt.Errorf("-policy adaptive runs the full default flow; -stages, -registers and -clock do not apply"))
+		}
+		sched = runAdaptiveBatch(lib, catalog, fleet, recipe, cfg)
+		perJobDeadlines = true
+	default:
+		fail(fmt.Errorf("unknown policy %q (want single, firstfit or adaptive)", cfg.policy))
 	}
 
 	fmt.Printf("Fleet batch: %d x %s on %s (policy %s)\n\n", cfg.batch, g.Name, fleet, sched.Policy)
@@ -222,11 +242,21 @@ func runFleetBatch(g *aig.Graph, lib *techlib.Library, recipe synth.Recipe, stag
 		if !j.DeadlineMet {
 			status = "MISSED"
 		}
-		if cfg.deadline <= 0 {
+		if !perJobDeadlines {
 			status = "-"
 		}
 		fmt.Printf("%-12s %8.0fs %8.0fs %8.0fs %8.0fs %10.4f %9s\n",
 			j.Name, j.StartSec, j.Seconds, j.WaitSec, j.FinishSec, j.CostUSD, status)
+	}
+	if cfg.policy == "adaptive" {
+		fmt.Printf("\n%-12s %-10s %-10s %9s %9s %9s\n",
+			"job", "stage", "instance", "start", "wait", "busy")
+		for _, j := range sched.Jobs {
+			for _, st := range j.Stages {
+				fmt.Printf("%-12s %-10s %-10s %8.0fs %8.0fs %8.0fs\n",
+					j.Name, st.Kind, st.Instance, st.StartSec, st.WaitSec, st.Seconds)
+			}
+		}
 	}
 	fmt.Printf("\nBatch: $%.4f, makespan %.0fs, %.0fs queued, fleet %.1f%% utilized\n\n",
 		sched.TotalCostUSD, sched.MakespanSec, sched.TotalWaitSec, sched.UtilizationPct)
@@ -235,6 +265,65 @@ func runFleetBatch(g *aig.Graph, lib *techlib.Library, recipe synth.Recipe, stag
 		fmt.Printf("%-12s %7d %8.0fs %10.4f %6.1f%%\n",
 			row.ID, row.Leases, row.BusySec, row.CostUSD, row.UtilizationPct)
 	}
+}
+
+// runAdaptiveBatch characterizes the design, co-optimizes the batch's
+// stage plans against the fleet, prints them, and executes the batch
+// under flow.AdaptivePolicy — each job carrying its choice table so a
+// queue-starved stage can upgrade its instance class at placement
+// time. The fleet is mutated with the run's leases for the ledger.
+func runAdaptiveBatch(lib *techlib.Library, catalog *cloud.Catalog, fleet *cloud.Fleet, recipe synth.Recipe, cfg batchConfig) *flow.Schedule {
+	if cfg.design == "" {
+		fail(fmt.Errorf("-policy adaptive needs -design (it characterizes the design to build choice tables)"))
+	}
+	charOpts := core.CharacterizeOptions{Scale: cfg.scale, Recipe: recipe, Workers: cfg.workers}
+	char, err := core.CharacterizeEval(lib, cfg.design, charOpts)
+	if err != nil {
+		fail(err)
+	}
+	prob, err := core.BuildDeploymentProblem(char, catalog)
+	if err != nil {
+		fail(err)
+	}
+	specs := make([]core.BatchJobSpec, cfg.batch)
+	for i := range specs {
+		specs[i] = core.BatchJobSpec{
+			Name: fmt.Sprintf("%s#%d", cfg.design, i),
+			Char: char, Prob: prob, DeadlineSec: int(cfg.deadline),
+		}
+	}
+	if cfg.deadline <= 0 {
+		// Default deadlines: 1.3x each copy's independently optimal
+		// serial runtime — met alone on an idle fleet, eroded by
+		// queueing in the contended batch.
+		ibp, err := core.IndependentBatchPlan(specs, fleet)
+		if err != nil {
+			fail(err)
+		}
+		if !ibp.Feasible {
+			fail(fmt.Errorf("no feasible plan on fleet %s", fleet))
+		}
+		for i := range specs {
+			specs[i].DeadlineSec = int(1.3 * float64(ibp.Plans[i].TotalTime))
+		}
+	}
+	bp, err := core.OptimizeBatch(specs, fleet)
+	if err != nil {
+		fail(err)
+	}
+	if !bp.Feasible {
+		fail(fmt.Errorf("batch infeasible: a copy cannot meet its own deadline alone"))
+	}
+	fmt.Printf("Co-optimized plans (method %s):\n", bp.Selection.Method)
+	for i := range specs {
+		fmt.Printf("  %-12s deadline %4ds  %s\n", specs[i].Name, specs[i].DeadlineSec, bp.Plans[i])
+	}
+	fmt.Println()
+	sched, err := core.ExecuteBatchPlan(lib, specs, bp, charOpts, fleet, true)
+	if err != nil {
+		fail(err)
+	}
+	return sched
 }
 
 // partialStages translates the -stages flag into a stage list; nil

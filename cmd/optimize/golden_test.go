@@ -1,0 +1,28 @@
+package main
+
+import (
+	"flag"
+	"testing"
+
+	"edacloud/internal/clitest"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// TestBatchGolden pins the -batch mode's stdout end to end: the
+// co-optimized plans, the forecast-vs-simulation table (which the
+// command itself verifies for an exact match), and the three-way
+// execution comparison. Every printed value is simulated and
+// deterministic, so the comparison is byte-exact after whitespace
+// normalization.
+func TestBatchGolden(t *testing.T) {
+	bin := clitest.Build(t, "")
+	got := clitest.Run(t, bin,
+		"-batch",
+		"-designs", "ibex,aes,ibex",
+		"-fleet", "gp.1x=1,gp.8x=1,mem.1x=1,mem.8x=1",
+		"-slack", "1.3",
+		"-scale", "0.03",
+	)
+	clitest.Golden(t, "testdata/batch.golden", got, *update)
+}

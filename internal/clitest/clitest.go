@@ -1,0 +1,106 @@
+// Package clitest is the golden end-to-end harness for the repo's
+// command binaries: build the command, run it with fixed flags,
+// normalize stdout, and compare against a checked-in golden file so
+// CLI output regressions — a changed schedule, a broken table, a
+// renamed column — fail loudly. Every simulated quantity the commands
+// print is deterministic (worker-count- and machine-independent by
+// the repo's core invariants), which is what makes byte-exact goldens
+// tenable.
+package clitest
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Build compiles the command package in dir (default ".") into a
+// temporary binary and returns its path.
+func Build(t *testing.T, dir string) string {
+	t.Helper()
+	if dir == "" {
+		dir = "."
+	}
+	bin := filepath.Join(t.TempDir(), "cmd.bin")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Dir = dir
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// Run executes the binary with the given arguments and returns its
+// normalized stdout. A non-zero exit or any stderr output fails the
+// test.
+func Run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s %s: %v\nstderr: %s", filepath.Base(bin), strings.Join(args, " "), err, stderr.String())
+	}
+	if stderr.Len() > 0 {
+		t.Fatalf("%s wrote to stderr: %s", filepath.Base(bin), stderr.String())
+	}
+	return Normalize(stdout.String())
+}
+
+// Normalize strips trailing whitespace per line and trailing blank
+// lines, and canonicalizes line endings — the only variance a golden
+// comparison should forgive.
+func Normalize(s string) string {
+	s = strings.ReplaceAll(s, "\r\n", "\n")
+	lines := strings.Split(s, "\n")
+	for i := range lines {
+		lines[i] = strings.TrimRight(lines[i], " \t")
+	}
+	out := strings.Join(lines, "\n")
+	return strings.TrimRight(out, "\n") + "\n"
+}
+
+// Golden compares got against the golden file, rewriting it instead
+// when update is true. The diff report shows the first divergent line
+// so a regression is readable without external tooling.
+func Golden(t *testing.T, goldenPath string, got string, update bool) {
+	t.Helper()
+	if update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", goldenPath)
+		return
+	}
+	wantBytes, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (rerun with -update): %v", err)
+	}
+	want := Normalize(string(wantBytes))
+	if got == want {
+		return
+	}
+	gotLines, wantLines := strings.Split(got, "\n"), strings.Split(want, "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		g, w := "", ""
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Fatalf("output diverges from %s at line %d:\n got: %q\nwant: %q\n(rerun with -update to accept)",
+				goldenPath, i+1, g, w)
+		}
+	}
+	t.Fatalf("output differs from %s in line count only: got %d, want %d",
+		goldenPath, len(gotLines), len(wantLines))
+}

@@ -258,6 +258,38 @@ func (f *Fleet) Ledger(horizonSec float64) []LedgerRow {
 	return rows
 }
 
+// Profile returns the fleet's capacity profile: the distinct instance
+// types present with their counts, in first-appearance order. It is
+// the form a batch optimizer consumes — per-type capacity constraints
+// — and, fed back through NewFleet, reproduces a fleet whose
+// within-type instance ordering (and therefore every typed Acquire
+// tie-break) matches this one.
+func (f *Fleet) Profile() []FleetEntry {
+	var entries []FleetEntry
+	index := map[string]int{}
+	for _, inst := range f.Instances {
+		if i, ok := index[inst.Type.Name]; ok {
+			entries[i].Count++
+			continue
+		}
+		index[inst.Type.Name] = len(entries)
+		entries = append(entries, FleetEntry{Type: inst.Type, Count: 1})
+	}
+	return entries
+}
+
+// Clone returns an unused copy of the fleet: the same instance
+// sequence — IDs, types, order, so every Acquire tie-break matches —
+// with fresh timelines and ledgers. A schedule forecast books leases
+// on a clone without dirtying the fleet the real run will use.
+func (f *Fleet) Clone() *Fleet {
+	out := &Fleet{Instances: make([]*FleetInstance, len(f.Instances))}
+	for i, inst := range f.Instances {
+		out.Instances[i] = &FleetInstance{ID: inst.ID, Type: inst.Type}
+	}
+	return out
+}
+
 // Types lists the distinct instance type names present in the fleet,
 // sorted, with counts — the menu a scheduling policy can choose from.
 func (f *Fleet) Types() map[string]int {

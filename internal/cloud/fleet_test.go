@@ -177,3 +177,59 @@ func TestMinBillGranularity(t *testing.T) {
 		t.Fatalf("ledger total %g, want %g", got, it.Cost(75))
 	}
 }
+
+// TestFleetProfileAndClone: the capacity profile preserves
+// first-appearance type order with counts, and a clone replays every
+// typed Acquire tie-break of the original while starting unused.
+func TestFleetProfileAndClone(t *testing.T) {
+	c := DefaultCatalog()
+	gp, err := c.ByName("gp.4x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := c.ByName("mem.8x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleaved entries: the profile collapses counts but keeps
+	// first-appearance order and within-type instance order.
+	f := NewFleet(
+		FleetEntry{Type: gp, Count: 1},
+		FleetEntry{Type: mem, Count: 1},
+		FleetEntry{Type: gp, Count: 2},
+	)
+	prof := f.Profile()
+	if len(prof) != 2 || prof[0].Type.Name != "gp.4x" || prof[0].Count != 3 ||
+		prof[1].Type.Name != "mem.8x" || prof[1].Count != 1 {
+		t.Fatalf("profile = %+v", prof)
+	}
+
+	f.Book(0, "a", "synthesis", 0, 100)
+	clone := f.Clone()
+	if len(clone.Instances) != len(f.Instances) {
+		t.Fatalf("clone has %d instances, want %d", len(clone.Instances), len(f.Instances))
+	}
+	for i, inst := range clone.Instances {
+		orig := f.Instances[i]
+		if inst.ID != orig.ID || inst.Type.Name != orig.Type.Name {
+			t.Fatalf("clone instance %d = %s/%s, want %s/%s",
+				i, inst.ID, inst.Type.Name, orig.ID, orig.Type.Name)
+		}
+		if inst.FreeAtSec != 0 || inst.BusySec != 0 || inst.CostUSD != 0 || inst.Leases != nil {
+			t.Fatalf("clone instance %d not pristine: %+v", i, inst)
+		}
+	}
+	// The original's lease survives the cloning untouched.
+	if len(f.Instances[0].Leases) != 1 || f.Instances[0].FreeAtSec != 100 {
+		t.Fatal("cloning disturbed the original fleet")
+	}
+	// Same tie-breaks: booking the clone like the (pre-lease) original
+	// grants the same instance indices.
+	wantIdx, wantStart, err := clone.Acquire("gp.4x", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantIdx != 0 || wantStart != 0 {
+		t.Fatalf("clone Acquire granted %d@%g, want 0@0", wantIdx, wantStart)
+	}
+}

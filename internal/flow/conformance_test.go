@@ -1,0 +1,305 @@
+package flow
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"edacloud/internal/cloud"
+)
+
+// This file is the policy conformance suite: table-driven invariants
+// every flow.Policy must satisfy, run through one shared harness so a
+// future policy gets coverage by adding a single table entry. The
+// invariants are the scheduler's load-bearing promises — a fleet
+// instance never runs two leases at once, jobs are served FIFO within
+// an instance type, the fleet ledger and the per-job bills agree, and
+// the schedule is bit-identical at any worker count.
+
+// conformanceCase is one policy under test: how to build its jobs and
+// the fleet they contend for.
+type conformanceCase struct {
+	name      string
+	policy    Policy
+	fleetSpec string
+	minBill   float64
+	jobs      func(t *testing.T) []Job
+}
+
+// conformancePlan builds the shared stage plan and choice table the
+// plan-driven policies run under: cheap planned types with faster
+// upgrade candidates, deliberately contended on a small fleet.
+func conformancePlan(t *testing.T) (StagePlan, StageChoices) {
+	t.Helper()
+	catalog := cloud.DefaultCatalog()
+	plan := StagePlan{}
+	choices := StageChoices{}
+	for k, names := range map[JobKind][]string{
+		JobSynthesis: {"gp.1x", "gp.8x"},
+		JobPlacement: {"mem.1x", "mem.8x"},
+		JobRouting:   {"mem.1x", "mem.8x"},
+		JobSTA:       {"gp.1x", "gp.8x"},
+	} {
+		for i, name := range names {
+			it, err := catalog.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i == 0 {
+				plan[k] = it
+			}
+			// Predicted runtimes scale down with size — plausible values
+			// are all the invariants need.
+			choices[k] = append(choices[k], StageOption{
+				Type:    it,
+				Seconds: 90 / float64(it.VCPUs),
+				CostUSD: it.Cost(90 / float64(it.VCPUs)),
+			})
+		}
+	}
+	return plan, choices
+}
+
+func conformanceCases() []conformanceCase {
+	planJobs := func(deadline float64) func(t *testing.T) []Job {
+		return func(t *testing.T) []Job {
+			plan, choices := conformancePlan(t)
+			jobs := fleetJobs(t, 4)
+			for i := range jobs {
+				jobs[i].Plan = plan
+				jobs[i].Choices = choices
+				jobs[i].DeadlineSec = deadline
+			}
+			return jobs
+		}
+	}
+	singleJobs := func(t *testing.T) []Job {
+		jobs := fleetJobs(t, 4)
+		inst, err := cloud.DefaultCatalog().ByName("mem.4x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range jobs {
+			jobs[i].Instance = inst
+		}
+		return jobs
+	}
+	return []conformanceCase{
+		{name: "single-instance", policy: SingleInstance{}, fleetSpec: "mem.4x=2", jobs: singleJobs},
+		{name: "single-instance-minbill", policy: SingleInstance{}, fleetSpec: "mem.4x=2", minBill: 60, jobs: singleJobs},
+		{name: "first-fit", policy: FirstFit{}, fleetSpec: "gp.4x=1,mem.4x=1,cpu.2x=1", jobs: func(t *testing.T) []Job {
+			return fleetJobs(t, 5)
+		}},
+		{name: "plan", policy: PlanPolicy{}, fleetSpec: "gp.1x=1,gp.8x=1,mem.1x=1,mem.8x=1", jobs: planJobs(0)},
+		// A tight deadline forces the adaptive policy off-plan, so the
+		// invariants cover its upgrade path, not just plan replay.
+		{name: "adaptive", policy: AdaptivePolicy{}, fleetSpec: "gp.1x=1,gp.8x=1,mem.1x=1,mem.8x=1", jobs: planJobs(120)},
+	}
+}
+
+// TestPolicyConformance runs every policy through the shared invariant
+// harness.
+func TestPolicyConformance(t *testing.T) {
+	for _, tc := range conformanceCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			catalog := cloud.DefaultCatalog()
+			if tc.minBill > 0 {
+				catalog = catalog.WithMinBill(tc.minBill)
+			}
+			fleet, err := cloud.ParseFleetSpec(catalog, tc.fleetSpec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			jobs := tc.jobs(t)
+
+			run := func(workers int) *Schedule {
+				f := fleet.Clone()
+				sched, err := (&Scheduler{Workers: workers, Fleet: f, Policy: tc.policy}).Run(context.Background(), jobs)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				for _, j := range sched.Jobs {
+					if j.Err != nil {
+						t.Fatalf("workers=%d: job %s: %v", workers, j.Name, j.Err)
+					}
+				}
+				return sched
+			}
+
+			want := run(1)
+			checkNoLeaseOverlap(t, want)
+			checkFIFOReadyOrder(t, want, tc.policy)
+			checkLedgerConsistency(t, want)
+			checkIdenticalSchedules(t, want, run)
+		})
+	}
+}
+
+// checkNoLeaseOverlap: no fleet instance ever runs two leases at once,
+// and every lease lies within the schedule makespan.
+func checkNoLeaseOverlap(t *testing.T, sched *Schedule) {
+	t.Helper()
+	for _, inst := range sched.Fleet.Instances {
+		for i, l := range inst.Leases {
+			if l.EndSec < l.StartSec {
+				t.Fatalf("instance %s lease %d runs backwards: %+v", inst.ID, i, l)
+			}
+			if l.EndSec > sched.MakespanSec {
+				t.Fatalf("instance %s lease %d ends at %g past makespan %g", inst.ID, i, l.EndSec, sched.MakespanSec)
+			}
+			if i > 0 && l.StartSec < inst.Leases[i-1].EndSec {
+				t.Fatalf("instance %s leases overlap: %+v then %+v", inst.ID, inst.Leases[i-1], l)
+			}
+		}
+	}
+}
+
+// checkFIFOReadyOrder: among placements queueing for the same instance
+// type (or for any machine, under an untyped policy), a stage that
+// became ready strictly earlier never starts later. Holding policies
+// acquire once per job, so only their first stage is an acquisition.
+func checkFIFOReadyOrder(t *testing.T, sched *Schedule, policy Policy) {
+	t.Helper()
+	type acquisition struct {
+		job, stage string
+		key        string
+		ready      float64
+		start      float64
+	}
+	var acqs []acquisition
+	untyped := false
+	if _, ok := policy.(FirstFit); ok {
+		untyped = true
+	}
+	for _, j := range sched.Jobs {
+		for s, st := range j.Stages {
+			if !policy.ReInstance() && s > 0 {
+				continue // held machine: no queueing after the first stage
+			}
+			key := st.Type.Name
+			if untyped {
+				key = ""
+			}
+			acqs = append(acqs, acquisition{
+				job: j.Name, stage: st.Kind.String(), key: key,
+				ready: st.StartSec - st.WaitSec, start: st.StartSec,
+			})
+		}
+	}
+	for i, a := range acqs {
+		for _, b := range acqs[i+1:] {
+			if a.key != b.key {
+				continue
+			}
+			if a.ready < b.ready && a.start > b.start {
+				t.Fatalf("FIFO violated on %q: %s/%s ready %g started %g after %s/%s ready %g started %g",
+					a.key, a.job, a.stage, a.ready, a.start, b.job, b.stage, b.ready, b.start)
+			}
+			if b.ready < a.ready && b.start > a.start {
+				t.Fatalf("FIFO violated on %q: %s/%s ready %g started %g after %s/%s ready %g started %g",
+					b.key, b.job, b.stage, b.ready, b.start, a.job, a.stage, a.ready, a.start)
+			}
+		}
+	}
+}
+
+// checkLedgerConsistency: the fleet ledger, the schedule total, the
+// per-job bills and the per-stage bills all tell one story.
+func checkLedgerConsistency(t *testing.T, sched *Schedule) {
+	t.Helper()
+	var jobSum float64
+	for _, j := range sched.Jobs {
+		var stageSum float64
+		for _, st := range j.Stages {
+			if st.CostUSD < 0 || st.Seconds < 0 || st.WaitSec < 0 {
+				t.Fatalf("job %s stage %s negative accounting: %+v", j.Name, st.Kind, st)
+			}
+			stageSum += st.CostUSD
+		}
+		if math.Abs(stageSum-j.CostUSD) > 1e-9 {
+			t.Fatalf("job %s bills %g, stages sum to %g", j.Name, j.CostUSD, stageSum)
+		}
+		jobSum += j.CostUSD
+	}
+	if math.Abs(jobSum-sched.TotalCostUSD) > 1e-9 {
+		t.Fatalf("schedule bills %g, jobs sum to %g", sched.TotalCostUSD, jobSum)
+	}
+	if got := sched.Fleet.TotalCostUSD(); math.Abs(got-sched.TotalCostUSD) > 1e-9 {
+		t.Fatalf("fleet ledger %g, schedule bill %g", got, sched.TotalCostUSD)
+	}
+	var leaseSum float64
+	for _, inst := range sched.Fleet.Instances {
+		for _, l := range inst.Leases {
+			leaseSum += l.CostUSD
+		}
+	}
+	if math.Abs(leaseSum-sched.TotalCostUSD) > 1e-9 {
+		t.Fatalf("leases bill %g, schedule %g", leaseSum, sched.TotalCostUSD)
+	}
+}
+
+// checkIdenticalSchedules: the whole schedule — every placement, bill
+// and aggregate — is bit-identical at workers 1, 2 and 8.
+func checkIdenticalSchedules(t *testing.T, want *Schedule, run func(int) *Schedule) {
+	t.Helper()
+	for _, w := range []int{2, 8} {
+		got := run(w)
+		if got.TotalCostUSD != want.TotalCostUSD ||
+			got.TotalCPUSeconds != want.TotalCPUSeconds ||
+			got.MakespanSec != want.MakespanSec ||
+			got.TotalWaitSec != want.TotalWaitSec ||
+			got.UtilizationPct != want.UtilizationPct ||
+			got.DeadlinesMissed != want.DeadlinesMissed {
+			t.Fatalf("workers=%d: aggregates differ", w)
+		}
+		for i := range want.Jobs {
+			g, s := got.Jobs[i], want.Jobs[i]
+			if g.Seconds != s.Seconds || g.CostUSD != s.CostUSD ||
+				g.StartSec != s.StartSec || g.FinishSec != s.FinishSec || g.WaitSec != s.WaitSec {
+				t.Fatalf("workers=%d: job %d differs: %+v vs %+v", w, i, g, s)
+			}
+			if !reflect.DeepEqual(g.Stages, s.Stages) {
+				t.Fatalf("workers=%d: job %d placements differ:\n%+v\n%+v", w, i, g.Stages, s.Stages)
+			}
+		}
+	}
+}
+
+// TestAdaptiveConformanceUpgrades: the adaptive table entry must
+// actually exercise the upgrade path — otherwise the suite is only
+// re-testing PlanPolicy under another name.
+func TestAdaptiveConformanceUpgrades(t *testing.T) {
+	var tc conformanceCase
+	for _, c := range conformanceCases() {
+		if c.name == "adaptive" {
+			tc = c
+		}
+	}
+	if tc.name == "" {
+		t.Fatal("no adaptive conformance case")
+	}
+	fleet, err := cloud.ParseFleetSpec(cloud.DefaultCatalog(), tc.fleetSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := tc.jobs(t)
+	sched, err := (&Scheduler{Fleet: fleet, Policy: tc.policy}).Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upgrades := 0
+	for i, j := range sched.Jobs {
+		if j.Err != nil {
+			t.Fatal(j.Err)
+		}
+		for _, st := range j.Stages {
+			if st.Type.Name != jobs[i].Plan[st.Kind].Name {
+				upgrades++
+			}
+		}
+	}
+	if upgrades == 0 {
+		t.Fatal("adaptive conformance case never upgrades; tighten its deadline")
+	}
+}

@@ -1,0 +1,75 @@
+package flow
+
+import (
+	"fmt"
+
+	"edacloud/internal/cloud"
+)
+
+// This file is the contention-aware prediction half of the batch
+// co-optimizer's contract: given each job's planned stages with their
+// predicted runtimes, Forecast replays the scheduler's own placement
+// engine (the same simulate loop, the same fleet Acquire/Book
+// arithmetic, the same FIFO tie-breaks) without running any pipeline.
+// Because the event loop is shared code — not a reimplementation — a
+// forecast agrees bit-for-bit with the schedule a real PlanPolicy run
+// produces whenever the predicted stage runtimes match the executed
+// ones, which is exactly what TestBatchPlanExecutionMatchesPrediction
+// pins down.
+
+// ForecastStage is one predicted stage placement request: the
+// instance type the stage queues for and its predicted runtime there.
+type ForecastStage struct {
+	Kind    JobKind
+	Type    cloud.InstanceType
+	Seconds float64
+}
+
+// ForecastJob is one job of a predicted batch, in stage order.
+type ForecastJob struct {
+	Name        string
+	DeadlineSec float64
+	Stages      []ForecastStage
+}
+
+// Forecast replays the fleet scheduler's stage-level placement
+// discipline over predicted stage runtimes: jobs queue FIFO by ready
+// time, each stage takes the earliest-free instance of its requested
+// type (one lease per stage, as under PlanPolicy), and bills follow
+// the fleet's lease ledger. The fleet is mutated with the forecast's
+// leases — pass a cloud.Fleet.Clone to keep the real one pristine.
+// The returned Schedule carries no artifacts (JobResult.Run is nil).
+func Forecast(fleet *cloud.Fleet, jobs []ForecastJob) (*Schedule, error) {
+	fjobs := make([]Job, len(jobs))
+	prepared := make([]*preparedJob, len(jobs))
+	for i, fj := range jobs {
+		fjobs[i] = Job{Name: fj.Name, DeadlineSec: fj.DeadlineSec}
+		p := &preparedJob{
+			res:      JobResult{Name: fj.Name},
+			requests: map[JobKind]cloud.InstanceType{},
+			seconds:  map[JobKind]float64{},
+		}
+		for _, st := range fj.Stages {
+			if st.Type.Name == "" {
+				return nil, fmt.Errorf("flow: forecast job %q stage %s requests no instance type", fj.Name, st.Kind)
+			}
+			if st.Seconds < 0 {
+				return nil, fmt.Errorf("flow: forecast job %q stage %s has negative runtime", fj.Name, st.Kind)
+			}
+			if _, dup := p.requests[st.Kind]; dup {
+				return nil, fmt.Errorf("flow: forecast job %q repeats stage %s", fj.Name, st.Kind)
+			}
+			p.kinds = append(p.kinds, st.Kind)
+			p.requests[st.Kind] = st.Type
+			p.seconds[st.Kind] = st.Seconds
+		}
+		prepared[i] = p
+	}
+	simulate(fleet, PlanPolicy{}, fjobs, prepared, false)
+	for i := range prepared {
+		if err := prepared[i].res.Err; err != nil {
+			return nil, fmt.Errorf("flow: forecast job %q: %w", jobs[i].Name, err)
+		}
+	}
+	return buildSchedule("forecast", fleet, prepared), nil
+}

@@ -1,0 +1,80 @@
+package flow
+
+import (
+	"math"
+	"testing"
+
+	"edacloud/internal/cloud"
+)
+
+// TestForecastQueueingAndBills: the forecast replays the placement
+// discipline over fixed predictions — two identical jobs on one
+// machine serialize, the second one's wait is exactly the first one's
+// runtime, and bills follow the instance pricing.
+func TestForecastQueueingAndBills(t *testing.T) {
+	catalog := cloud.DefaultCatalog()
+	gp, err := catalog.ByName("gp.2x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := catalog.ByName("mem.2x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := cloud.NewFleet(cloud.FleetEntry{Type: gp, Count: 1}, cloud.FleetEntry{Type: mem, Count: 1})
+	job := func(name string, deadline float64) ForecastJob {
+		return ForecastJob{Name: name, DeadlineSec: deadline, Stages: []ForecastStage{
+			{Kind: JobSynthesis, Type: gp, Seconds: 100},
+			{Kind: JobRouting, Type: mem, Seconds: 50},
+		}}
+	}
+	sched, err := Forecast(fleet, []ForecastJob{job("a", 0), job("b", 160)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := sched.Jobs[0], sched.Jobs[1]
+	if a.StartSec != 0 || a.FinishSec != 150 || a.WaitSec != 0 {
+		t.Fatalf("job a: %+v", a)
+	}
+	// b's synthesis queues behind a's (100 s), then its routing waits
+	// for a's routing to clear mem (200 vs ready 200: no wait).
+	if b.StartSec != 100 || b.WaitSec != 100 || b.FinishSec != 250 {
+		t.Fatalf("job b: start=%g wait=%g finish=%g", b.StartSec, b.WaitSec, b.FinishSec)
+	}
+	if b.DeadlineMet {
+		t.Fatal("job b met a 160 s deadline while finishing at 250 s")
+	}
+	wantBill := gp.Cost(100) + mem.Cost(50)
+	for _, j := range []JobResult{a, b} {
+		if math.Abs(j.CostUSD-wantBill) > 1e-12 {
+			t.Fatalf("job %s billed %g, want %g", j.Name, j.CostUSD, wantBill)
+		}
+		if j.Run != nil {
+			t.Fatalf("forecast job %s carries artifacts", j.Name)
+		}
+	}
+	if sched.MakespanSec != 250 || sched.TotalWaitSec != 100 {
+		t.Fatalf("aggregates: %+v", sched)
+	}
+
+	// Bad inputs refuse: no type, negative runtime, duplicate stage,
+	// and a type the fleet lacks.
+	if _, err := Forecast(fleet.Clone(), []ForecastJob{{Name: "x", Stages: []ForecastStage{{Kind: JobSTA, Seconds: 1}}}}); err == nil {
+		t.Fatal("typeless forecast stage accepted")
+	}
+	if _, err := Forecast(fleet.Clone(), []ForecastJob{{Name: "x", Stages: []ForecastStage{{Kind: JobSTA, Type: gp, Seconds: -1}}}}); err == nil {
+		t.Fatal("negative runtime accepted")
+	}
+	if _, err := Forecast(fleet.Clone(), []ForecastJob{{Name: "x", Stages: []ForecastStage{
+		{Kind: JobSTA, Type: gp, Seconds: 1}, {Kind: JobSTA, Type: gp, Seconds: 1},
+	}}}); err == nil {
+		t.Fatal("duplicate stage accepted")
+	}
+	cpu, err := catalog.ByName("cpu.8x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Forecast(fleet.Clone(), []ForecastJob{{Name: "x", Stages: []ForecastStage{{Kind: JobSTA, Type: cpu, Seconds: 1}}}}); err == nil {
+		t.Fatal("type absent from the fleet accepted")
+	}
+}

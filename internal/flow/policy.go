@@ -65,6 +65,61 @@ func (PlanPolicy) Choose(job *Job, k JobKind) (cloud.InstanceType, error) {
 // ReInstance implements Policy: one lease per stage.
 func (PlanPolicy) ReInstance() bool { return true }
 
+// StageOption is one candidate configuration for a stage: the
+// instance type with its predicted runtime and bill — one cell of the
+// deployment optimizer's choice table in executable form.
+type StageOption struct {
+	Type    cloud.InstanceType
+	Seconds float64
+	CostUSD float64
+}
+
+// StageChoices maps each stage to its candidate options, in the
+// optimizer's table order (smallest instance first). The adaptive
+// policy consults it at placement time; the placement engine also uses
+// it to price stages placed on a type other than the one their probe
+// was sized for.
+type StageChoices map[JobKind][]StageOption
+
+// Option returns stage k's entry for the named instance type.
+func (c StageChoices) Option(k JobKind, typeName string) (StageOption, bool) {
+	for _, opt := range c[k] {
+		if opt.Type.Name == typeName {
+			return opt, true
+		}
+	}
+	return StageOption{}, false
+}
+
+// AdaptivePolicy executes each job's StagePlan like PlanPolicy but
+// closes the loop between the plan and observed contention: at
+// placement time, when the queue wait for the planned instance type
+// has eaten the job's deadline slack, the stage upgrades to another
+// entry of the job's choice table (Job.Choices) — the cheapest one
+// whose projected job finish still meets the deadline, or failing
+// that the one finishing earliest. Jobs without a deadline or a
+// choice table degrade to plan execution. Decisions read only the
+// serial placement simulation's fleet state, so schedules stay
+// bit-identical at any worker count.
+type AdaptivePolicy struct{}
+
+// Name implements Policy.
+func (AdaptivePolicy) Name() string { return "adaptive" }
+
+// Choose implements Policy: the job's plan entry is what each stage
+// nominally queues for (and what its probe is sized to); upgrades
+// happen later, inside the placement simulation.
+func (AdaptivePolicy) Choose(job *Job, k JobKind) (cloud.InstanceType, error) {
+	it, ok := job.Plan[k]
+	if !ok {
+		return cloud.InstanceType{}, fmt.Errorf("flow: job %q has no plan entry for stage %s", job.Name, k)
+	}
+	return it, nil
+}
+
+// ReInstance implements Policy: one lease per stage.
+func (AdaptivePolicy) ReInstance() bool { return true }
+
 // FirstFit is the greedy baseline: every stage queues for whichever
 // fleet instance becomes free earliest, whatever its type, and the job
 // re-instances between stages. It exploits the whole fleet but ignores

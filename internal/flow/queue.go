@@ -97,6 +97,9 @@ func placeNext(fleet *cloud.Fleet, policy Policy, r *runner) bool {
 			start = r.ready
 		}
 	default:
+		if _, ok := policy.(AdaptivePolicy); ok {
+			req = adaptiveRequest(fleet, r, k, req)
+		}
 		var err error
 		instIdx, start, err = fleet.Acquire(req.Name, r.ready)
 		if err != nil {
@@ -106,7 +109,7 @@ func placeNext(fleet *cloud.Fleet, policy Policy, r *runner) bool {
 	}
 	inst := fleet.Instances[instIdx]
 
-	dur := jobMachine(r.job, inst.Type).Seconds(r.p.res.Run.Reports[k])
+	dur := r.p.stageSeconds(r.job, k, inst.Type)
 	var cost float64
 	if r.held >= 0 {
 		cost = fleet.Extend(instIdx, k.String(), dur)
@@ -138,6 +141,71 @@ func placeNext(fleet *cloud.Fleet, policy Policy, r *runner) bool {
 	r.ready = start + dur
 	r.stage++
 	return true
+}
+
+// adaptiveRequest reconsiders stage k's planned instance type against
+// the live fleet state — the AdaptivePolicy's placement-time half.
+// The planned type stands while its projected job finish (earliest
+// grantable start, the stage's predicted runtime, and the remaining
+// stages at their planned runtimes) still meets the deadline; once
+// queue wait has eaten that slack, the stage upgrades to the cheapest
+// choice-table option that projects to meet the deadline, or failing
+// that the one finishing earliest. Candidates are probed with Acquire
+// only (no booking), and scanned in table order, so the decision is a
+// pure function of the serial simulation state.
+func adaptiveRequest(fleet *cloud.Fleet, r *runner, k JobKind, planned cloud.InstanceType) cloud.InstanceType {
+	job := r.job
+	opts := job.Choices[k]
+	if job.DeadlineSec <= 0 || len(opts) == 0 {
+		return planned
+	}
+	var remaining float64
+	for _, kk := range r.p.kinds[r.stage+1:] {
+		remaining += r.p.stageSeconds(job, kk, r.p.requests[kk])
+	}
+	type projection struct {
+		opt    StageOption
+		finish float64
+	}
+	var planFinish float64
+	planSeen := false
+	projections := make([]projection, 0, len(opts))
+	for _, opt := range opts {
+		_, start, err := fleet.Acquire(opt.Type.Name, r.ready)
+		if err != nil {
+			continue // this fleet has no such machines
+		}
+		finish := start + r.p.stageSeconds(job, k, opt.Type) + remaining
+		projections = append(projections, projection{opt, finish})
+		if opt.Type.Name == planned.Name {
+			planFinish, planSeen = finish, true
+		}
+	}
+	if len(projections) == 0 {
+		return planned
+	}
+	// The plan's pick stands while it still projects to meet the
+	// deadline — the knapsack already made it cost-optimal.
+	if planSeen && planFinish <= job.DeadlineSec {
+		return planned
+	}
+	best := -1
+	for i, p := range projections {
+		if p.finish > job.DeadlineSec {
+			continue
+		}
+		if best < 0 || p.opt.CostUSD < projections[best].opt.CostUSD {
+			best = i
+		}
+	}
+	if best < 0 {
+		for i, p := range projections {
+			if best < 0 || p.finish < projections[best].finish {
+				best = i
+			}
+		}
+	}
+	return projections[best].opt.Type
 }
 
 // finalize fills a job result's schedule aggregates once its last

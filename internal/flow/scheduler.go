@@ -36,6 +36,13 @@ type Job struct {
 	// Plan maps stages to instance types for the PlanPolicy — the
 	// executable form of a deployment optimizer plan.
 	Plan StagePlan
+	// Choices is the optimizer's per-stage choice table in executable
+	// form: the candidate instance types with their predicted runtimes.
+	// AdaptivePolicy consults it to upgrade a stage whose queue wait has
+	// eaten the job's slack; the placement engine reads it for the
+	// runtime of a stage placed on a type other than the one its probe
+	// was sized for.
+	Choices StageChoices
 	// DeadlineSec is the job's completion deadline in simulated
 	// seconds, measured against FinishSec (queueing included); 0 means
 	// none.
@@ -154,6 +161,31 @@ type preparedJob struct {
 	res      JobResult
 	kinds    []JobKind
 	requests map[JobKind]cloud.InstanceType
+	// seconds, when non-nil, fixes each stage's simulated runtime
+	// directly instead of replaying a probed report through the placed
+	// machine's model — the forecast path (see Forecast), which has
+	// predictions but no executed pipeline.
+	seconds map[JobKind]float64
+}
+
+// stageSeconds predicts stage k's runtime on instance type it. Order
+// of preference: the forecast's fixed prediction; the probed report
+// replayed through the machine model when the stage was probed for
+// this type (the exact path plan execution is validated on); the
+// job's choice table for a stage adaptively placed on a different
+// type than its probe was sized for; and the probed report again as
+// the last resort.
+func (p *preparedJob) stageSeconds(job *Job, k JobKind, it cloud.InstanceType) float64 {
+	if p.seconds != nil {
+		return p.seconds[k]
+	}
+	if req, ok := p.requests[k]; ok && req.Name == it.Name {
+		return jobMachine(job, it).Seconds(p.res.Run.Reports[k])
+	}
+	if opt, ok := job.Choices.Option(k, it.Name); ok {
+		return opt.Seconds
+	}
+	return jobMachine(job, it).Seconds(p.res.Run.Reports[k])
 }
 
 // Run executes the jobs and returns the aggregated schedule. A
@@ -192,7 +224,14 @@ func (s *Scheduler) Run(ctx context.Context, jobs []Job) (*Schedule, error) {
 	pinned := s.Fleet == nil
 	simulate(fleet, policy, jobs, prepared, pinned)
 
-	sched := &Schedule{Policy: policy.Name(), Fleet: fleet}
+	return buildSchedule(policy.Name(), fleet, prepared), ctx.Err()
+}
+
+// buildSchedule folds the placed jobs into the aggregate Schedule, in
+// job order so every float sum is identical for any worker count. It
+// serves both real runs and forecasts.
+func buildSchedule(policyName string, fleet *cloud.Fleet, prepared []*preparedJob) *Schedule {
+	sched := &Schedule{Policy: policyName, Fleet: fleet}
 	for i := range prepared {
 		r := &prepared[i].res
 		sched.Jobs = append(sched.Jobs, *r)
@@ -211,7 +250,7 @@ func (s *Scheduler) Run(ctx context.Context, jobs []Job) (*Schedule, error) {
 		}
 	}
 	sched.UtilizationPct = 100 * fleet.Utilization(sched.MakespanSec)
-	return sched, ctx.Err()
+	return sched
 }
 
 // prepare runs one job's pipeline with per-stage probes sized to the

@@ -57,6 +57,17 @@ func (s Selection) Export(classes []Class) ([]ExportedPick, error) {
 	if !s.Feasible {
 		return nil, fmt.Errorf("mckp: infeasible selection exports no plan")
 	}
+	// An empty choice table must not silently export a zero-stage plan:
+	// downstream layers would schedule nothing and bill nothing, hiding
+	// the configuration error that emptied the table.
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("mckp: empty choice table exports no plan")
+	}
+	for _, cl := range classes {
+		if len(cl.Items) == 0 {
+			return nil, fmt.Errorf("mckp: class %q has no items to export", cl.Name)
+		}
+	}
 	if len(s.Pick) != len(classes) {
 		return nil, fmt.Errorf("mckp: selection picks %d classes, classes are %d", len(s.Pick), len(classes))
 	}
