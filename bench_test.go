@@ -586,6 +586,31 @@ func BenchmarkParSpeedupSynthesize(b *testing.B) {
 	}
 }
 
+// BenchmarkParSpeedupRewrite measures the cone-parallel rewrite pass
+// alone — the last serial hot kernel of the flow before PR 5: the AIG
+// partitions into independent cone groups, each resynthesized against
+// a private strash shard, merged in deterministic partition order.
+// Results are bit-identical at every worker count (see synth's
+// determinism test); target >=2x on 4+ cores.
+func BenchmarkParSpeedupRewrite(b *testing.B) {
+	g := designs.MustEvalDesign("jpeg", benchScale)
+	if parts := g.PartitionCones(synth.PartitionGrain).NumParts(); parts < 4 {
+		b.Fatalf("design spans only %d partitions", parts)
+	}
+	run := func(workers int) time.Duration {
+		start := time.Now()
+		if _, err := synth.RunPass(g, synth.PassRewrite, nil, workers); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	for i := 0; i < b.N; i++ {
+		serial := run(1)
+		parallel := run(0)
+		reportParSpeedup(b, i == 0, "rewrite", serial, parallel)
+	}
+}
+
 // BenchmarkFleetThroughput is the smoke benchmark of the fleet
 // scheduler: a batch of flows contending for a bounded instance pool
 // under the greedy first-fit policy, stages placed one machine at a

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"flag"
+	"testing"
+
+	"edacloud/internal/clitest"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// TestFigure2Golden pins the Fig. 2 family end to end: one
+// characterization run of the smallest evaluation design, printed as
+// the four per-job/per-vCPU tables (branch misses, cache misses,
+// vector-FP share, extrapolated runtime). Every number is simulated
+// and deterministic — the runtime table now rests on the *measured*
+// parallel fractions of the cone-parallel synthesis passes, so a
+// change in the partitioned rewrite path shows up here as a diff.
+func TestFigure2Golden(t *testing.T) {
+	bin := clitest.Build(t, "")
+	got := clitest.Run(t, bin,
+		"-design", "dyn_node",
+		"-scale", "0.02",
+		"-figure", "2",
+	)
+	clitest.Golden(t, "testdata/figure2.golden", got, *update)
+}

@@ -24,14 +24,21 @@ import (
 func main() {
 	design := flag.String("design", "sparc_core", "evaluation design for Fig. 2 (dyn_node..sparc_core)")
 	scale := flag.Float64("scale", 0.03, "design scale factor (1 = full size; keep small for quick runs)")
-	figure := flag.String("figure", "all", "which figure to regenerate: 2a, 2b, 2c, 2d, 3, or all")
+	figure := flag.String("figure", "all", "which figure to regenerate: 2a, 2b, 2c, 2d, 2 (all of 2a-2d), 3, or all")
 	workers := flag.Int("workers", 0, "bound for the per-VM-config fan-out and kernel pools (0 = all cores; results identical)")
 	flag.Parse()
 
 	lib := techlib.Default14nm()
 	opts := core.CharacterizeOptions{Scale: *scale, Workers: *workers}
 
-	want := func(f string) bool { return *figure == "all" || *figure == f }
+	want := func(f string) bool {
+		if *figure == "all" || *figure == f {
+			return true
+		}
+		// "2" expands to the whole Fig. 2 family (one characterization
+		// run, four tables) without the Fig. 3 design sweep.
+		return *figure == "2" && len(f) == 2 && f[0] == '2'
+	}
 
 	if want("2a") || want("2b") || want("2c") || want("2d") {
 		char, err := core.CharacterizeEval(lib, *design, opts)

@@ -1,0 +1,134 @@
+package aig
+
+import "slices"
+
+// Cone partitioning splits an AIG into independent resynthesis units —
+// the substrate of the synthesis engine's cone-parallel rewriting. Each
+// AND node reachable from a primary output is *owned* by exactly one
+// partition: the partition of the first (lowest-index) output whose
+// transitive fanin cone contains it. Because ownership follows the
+// first covering output, every cross-partition fanin edge points from a
+// higher-index partition into a strictly lower-index one: if an owned
+// node v references u, then u is reachable from v's covering output,
+// so u's first covering output index is <= v's. Partitions can
+// therefore be resynthesized concurrently against private structural
+// hash tables — foreign references become placeholder leaves — and
+// merged back in ascending partition order, each merge seeing every
+// literal it needs already resolved.
+//
+// The partitioning is a pure function of the graph and the grain: no
+// worker count, machine property or map-iteration order enters it,
+// which is what lets the parallel synthesis passes stay bit-identical
+// at any pool size.
+
+// ConePartition is one group of primary outputs plus the AND nodes it
+// owns.
+type ConePartition struct {
+	// Outputs holds the indices of the primary outputs grouped into
+	// this partition, ascending.
+	Outputs []int
+	// Nodes holds the owned AND variables in ascending (topological)
+	// order.
+	Nodes []int32
+}
+
+// ConePartitioning is the result of PartitionCones.
+type ConePartitioning struct {
+	Parts []ConePartition
+	// Owner maps each variable to the partition owning it, or -1 for
+	// inputs, the constant node and dangling logic.
+	Owner []int32
+}
+
+// NumParts returns the number of partitions.
+func (cp *ConePartitioning) NumParts() int { return len(cp.Parts) }
+
+// PartitionCones groups the primary outputs into contiguous partitions
+// owning roughly grain AND nodes each (grain <= 0 means 256). Outputs
+// are assigned in order, so two runs over the same graph always
+// produce the same partitioning. Dangling AND nodes (unreachable from
+// every output) are owned by no partition.
+func (g *Graph) PartitionCones(grain int) *ConePartitioning {
+	if grain <= 0 {
+		grain = 256
+	}
+	owner := make([]int32, len(g.nodes))
+	for i := range owner {
+		owner[i] = -1
+	}
+	cp := &ConePartitioning{Owner: owner}
+	if len(g.outputs) == 0 {
+		return cp
+	}
+
+	// Mark each output's cone in output order; a node joins the
+	// partition current when it is first reached. Partitions close once
+	// they own at least grain AND nodes, so partition sizes track the
+	// *incremental* cone sizes — the actual resynthesis work — rather
+	// than raw (overlapping) cone sizes.
+	seen := make([]bool, len(g.nodes))
+	seen[0] = true
+	cur := ConePartition{}
+	curAnds := 0
+	var stack []int
+	for oi, o := range g.outputs {
+		cur.Outputs = append(cur.Outputs, oi)
+		stack = append(stack[:0], o.Var())
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			n := &g.nodes[v]
+			if n.kind != kindAnd {
+				continue
+			}
+			owner[v] = int32(len(cp.Parts))
+			cur.Nodes = append(cur.Nodes, int32(v))
+			curAnds++
+			stack = append(stack, n.fan0.Var(), n.fan1.Var())
+		}
+		if curAnds >= grain {
+			slices.Sort(cur.Nodes)
+			cp.Parts = append(cp.Parts, cur)
+			cur = ConePartition{}
+			curAnds = 0
+		}
+	}
+	if len(cur.Outputs) > 0 {
+		slices.Sort(cur.Nodes)
+		cp.Parts = append(cp.Parts, cur)
+	}
+	return cp
+}
+
+// Append copies sub's AND nodes into g in topological order, folding
+// and structurally hashing them against g's existing nodes. Sub's i-th
+// primary input is identified with inputMap[i] (a literal of g), which
+// is how a resynthesized partition shard rejoins the merged graph: the
+// shard's placeholder leaves map to the final literals of already
+// merged partitions. It returns a map from sub variable to g literal.
+// Sub's outputs are not copied; callers resolve them through the
+// returned map.
+func (g *Graph) Append(sub *Graph, inputMap []Lit) []Lit {
+	if len(inputMap) != sub.NumInputs() {
+		panic("aig: Append input map length mismatch")
+	}
+	old2new := make([]Lit, len(sub.nodes))
+	old2new[0] = False
+	for i, v := range sub.inputs {
+		old2new[v] = inputMap[i]
+	}
+	for v := 1; v < len(sub.nodes); v++ {
+		n := &sub.nodes[v]
+		if n.kind != kindAnd {
+			continue
+		}
+		f0 := old2new[n.fan0.Var()].NotIf(n.fan0.IsNeg())
+		f1 := old2new[n.fan1.Var()].NotIf(n.fan1.IsNeg())
+		old2new[v] = g.And(f0, f1)
+	}
+	return old2new
+}

@@ -1,0 +1,114 @@
+package aig
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSimEquivShapeMismatch(t *testing.T) {
+	g := New("g")
+	a := g.AddInput("a")
+	g.AddOutput(a, "f")
+	h := New("h")
+	h.AddInput("a")
+	h.AddInput("b")
+	if SimEquiv(g, h, 1, 4) {
+		t.Fatal("I/O mismatch reported equivalent")
+	}
+}
+
+func TestSimEquivStructuralFastPath(t *testing.T) {
+	g := randGraph(7, 8, 100, 5)
+	if !SimEquiv(g, g.Clone(), 1, 0) {
+		t.Fatal("clone not structurally identical")
+	}
+}
+
+func TestSimEquivConstantFastPath(t *testing.T) {
+	g := New("g")
+	g.AddInput("a")
+	g.AddOutput(True, "f")
+	h := New("h")
+	h.AddInput("a")
+	h.AddOutput(False, "f")
+	if SimEquiv(g, h, 1, 4) {
+		t.Fatal("True vs False reported equivalent")
+	}
+	h2 := New("h2")
+	h2.AddInput("a")
+	h2.AddOutput(True, "f")
+	if !SimEquiv(g, h2, 1, 4) {
+		t.Fatal("True vs True reported different")
+	}
+}
+
+// TestSimEquivExhaustiveIsExact: at <= 6 inputs SimEquiv must find the
+// single differing assignment no random round could be trusted with —
+// two functions differing in exactly one minterm.
+func TestSimEquivExhaustiveIsExact(t *testing.T) {
+	g := New("and6")
+	h := New("true6")
+	var gl []Lit
+	for i := 0; i < 6; i++ {
+		gl = append(gl, g.AddInput(""))
+		h.AddInput("")
+	}
+	// g = AND of all six inputs; h = constant true. They agree on 63 of
+	// 64 assignments.
+	g.AddOutput(g.AndN(gl), "f")
+	h.AddOutput(True, "f")
+	if SimEquiv(g, h, 42, 1) {
+		t.Fatal("one-minterm difference missed at <=6 inputs")
+	}
+}
+
+// TestSimEquivRefutesOnWideGraphs: the random path must separate AND
+// from OR over many inputs.
+func TestSimEquivRefutesOnWideGraphs(t *testing.T) {
+	g := New("wand")
+	h := New("wor")
+	var gl, hl []Lit
+	for i := 0; i < 16; i++ {
+		gl = append(gl, g.AddInput(""))
+		hl = append(hl, h.AddInput(""))
+	}
+	g.AddOutput(g.AndN(gl).Not(), "f")
+	h.AddOutput(h.OrN(hlNot(h, hl)), "f")
+	// By De Morgan these are actually equivalent; SimEquiv must agree.
+	if !SimEquiv(g, h, 3, 16) {
+		t.Fatal("De Morgan pair reported different")
+	}
+	// Flip one output polarity: must refute.
+	g2 := New("wand2")
+	var g2l []Lit
+	for i := 0; i < 16; i++ {
+		g2l = append(g2l, g2.AddInput(""))
+	}
+	g2.AddOutput(g2.AndN(g2l), "f")
+	if SimEquiv(g2, h, 3, 16) {
+		t.Fatal("complemented function reported equivalent")
+	}
+}
+
+func hlNot(g *Graph, ls []Lit) []Lit {
+	out := make([]Lit, len(ls))
+	for i, l := range ls {
+		out[i] = l.Not()
+	}
+	return out
+}
+
+// Property: SimEquiv agrees with the signature-based Equivalent on
+// random graph pairs (same graph swept vs a random rebuild).
+func TestQuickSimEquivMatchesEquivalent(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randGraph(seed, 7, 80, 4)
+		sw, _ := g.Sweep()
+		other := randGraph(seed+1, 7, 80, 4)
+		return SimEquiv(g, sw, seed, 8) &&
+			SimEquiv(g, other, seed, 8) == Equivalent(g, other, seed, 8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -242,6 +242,29 @@ func TestTakePhaseDeltas(t *testing.T) {
 	}
 }
 
+func TestTakePhaseMeasured(t *testing.T) {
+	p := NewProbe(DefaultProbeConfig())
+	p.Ops(100)
+	ph := p.TakePhaseMeasured("a", 75, 6)
+	if ph.C.Instrs != 100 || ph.ParallelFraction != 0.75 || ph.Chunks != 6 {
+		t.Fatalf("measured phase: %+v", ph)
+	}
+	// Claimed parallel work beyond the recorded delta is clamped.
+	p.Ops(10)
+	if ph := p.TakePhaseMeasured("b", 1e6, 2); ph.ParallelFraction != 1 {
+		t.Fatalf("overclaim not clamped: %+v", ph)
+	}
+	// An empty phase has fraction 0, not NaN.
+	if ph := p.TakePhaseMeasured("c", 0, 1); ph.ParallelFraction != 0 {
+		t.Fatalf("empty phase fraction: %+v", ph)
+	}
+	// Nil probes stay no-ops.
+	var nilp *Probe
+	if ph := nilp.TakePhaseMeasured("d", 5, 3); ph.C.Instrs != 0 || ph.Chunks != 3 {
+		t.Fatalf("nil probe phase: %+v", ph)
+	}
+}
+
 func TestCounterRates(t *testing.T) {
 	c := Counters{Branches: 200, BranchMisses: 3, L1Misses: 100, LLCMisses: 40, Instrs: 1000, FPVector: 250}
 	if got := c.BranchMissPct(); math.Abs(got-1.5) > 1e-9 {

@@ -322,6 +322,33 @@ func (p *Probe) TakePhase(name string, parallelFraction float64, chunks int) Pha
 	return Phase{Name: name, C: delta, ParallelFraction: parallelFraction, Chunks: chunks}
 }
 
+// TakePhaseMeasured is TakePhase with the parallel fraction *measured*
+// instead of modeled: parallelInstrs is the number of instructions the
+// caller recorded inside parallel regions (typically the delta of
+// Counters().Instrs across a par.ForProbe region, whose shard counters
+// are merged back before the region returns), and the fraction is its
+// share of everything retired since the last phase boundary. Callers
+// with genuinely parallel kernels use this so the machine model's
+// Amdahl scaling rests on the code's real serial/parallel split —
+// partition rebuilds and cut sweeps scale, merges and sweeps do not —
+// rather than on a hand-tuned constant. parallelInstrs is clamped to
+// the recorded delta, so a nil probe yields a zero-counter phase with
+// fraction 0.
+func (p *Probe) TakePhaseMeasured(name string, parallelInstrs uint64, chunks int) Phase {
+	if p == nil {
+		return p.TakePhase(name, 0, chunks)
+	}
+	total := p.c.Instrs - p.mark.Instrs
+	if parallelInstrs > total {
+		parallelInstrs = total
+	}
+	frac := 0.0
+	if total > 0 {
+		frac = float64(parallelInstrs) / float64(total)
+	}
+	return p.TakePhase(name, frac, chunks)
+}
+
 func sub(a, b Counters) Counters {
 	return Counters{
 		Instrs:        a.Instrs - b.Instrs,

@@ -2,23 +2,62 @@
 // (tree balancing, cut-based rewriting, cone refactoring) and a
 // polarity-aware, cut-based technology mapper targeting a standard-cell
 // library. Together with the optimization recipes in recipes.go it
-// substitutes for the commercial synthesis tool in the paper's flow,
-// and its pass structure (iterative, globally serialized netlist
-// transformations) is what gives synthesis the poor multi-core scaling
-// the paper reports.
+// substitutes for the commercial synthesis tool in the paper's flow.
+// The passes rebuild the netlist cone-parallel over a partitioned
+// structural hash table (see rewrite.go), so synthesis scales with
+// cores up to its serial merge/sweep fraction — the measured version
+// of the poor-but-nonzero multi-core scaling the paper reports.
 package synth
 
 import (
 	"sort"
 
 	"edacloud/internal/aig"
+	"edacloud/internal/par"
 	"edacloud/internal/perf"
 )
 
 // Balance rebuilds every maximal AND-tree as a depth-balanced tree,
 // pairing the shallowest operands first (Huffman order). It preserves
 // function and typically reduces depth at equal or smaller size.
+//
+// Multi-cone graphs balance cone-parallel over a partitioned strash:
+// each partition rebuilds its owned trees into a private shard graph,
+// estimating foreign-leaf depths from the source graph's levels, and
+// the shards merge in deterministic partition order (see rewrite.go).
 func Balance(g *aig.Graph, probe *perf.Probe) *aig.Graph {
+	ng, _ := balancePool(g, probe, par.Default())
+	return ng
+}
+
+// balancePool is Balance with an explicit worker pool, also reporting
+// the pass's parallel structure.
+func balancePool(g *aig.Graph, probe *perf.Probe, pool *par.Pool) (*aig.Graph, passStats) {
+	cp := partitionAccounted(g, probe)
+	if cp.NumParts() <= 1 {
+		return balanceSerial(g, probe), passStats{chunks: 1}
+	}
+	// Freeze the lazily memoized fanout counts and levels before the
+	// parallel region; workers read them concurrently.
+	fanout := g.FanoutCounts()
+	srcLv := g.Levels()
+
+	instrsBefore := probe.Counters().Instrs
+	shards := make([]shardBuild, cp.NumParts())
+	pool.ForProbe(probe, cp.NumParts(), 1, func(lo, hi, _ int, probe *perf.Probe) {
+		for pi := lo; pi < hi; pi++ {
+			shards[pi] = balancePartition(g, cp, pi, fanout, srcLv, probe)
+		}
+	})
+	parInstrs := probe.Counters().Instrs - instrsBefore
+
+	ng := mergeShards(g, cp, shards, probe)
+	return ng, passStats{chunks: cp.NumParts(), parallelInstrs: parInstrs}
+}
+
+// balanceSerial is the single-cone path: one output graph, one strash
+// table, exact incremental levels for every operand.
+func balanceSerial(g *aig.Graph, probe *perf.Probe) *aig.Graph {
 	ng := aig.New(g.Name)
 	old2new := make([]aig.Lit, g.NumVars())
 	old2new[0] = aig.False
@@ -28,54 +67,88 @@ func Balance(g *aig.Graph, probe *perf.Probe) *aig.Graph {
 		old2new[v] = ng.AddInput(g.InputName(i))
 		lvl = append(lvl, 0)
 	}
-	// andL creates an AND keeping lvl in sync (strash hits reuse the
-	// recorded level of the existing node).
-	andL := func(a, b aig.Lit) aig.Lit {
-		l := ng.And(a, b)
-		if v := l.Var(); v == len(lvl) {
-			la, lb := lvl[a.Var()], lvl[b.Var()]
-			if lb > la {
-				la = lb
-			}
-			lvl = append(lvl, la+1)
-		}
-		return l
-	}
-	fanout := g.FanoutCounts()
-
-	// gather collects the leaves of the maximal AND-tree rooted at var
-	// v: the tree descends through uncomplemented, single-fanout AND
-	// children (the classical balancing scope).
-	var gather func(l aig.Lit, root bool, leaves *[]aig.Lit)
-	gather = func(l aig.Lit, root bool, leaves *[]aig.Lit) {
-		v := l.Var()
-		probe.LoadHot(rgNode, uint64(v))
-		probe.LoopBranches(3)
-		expand := g.IsAnd(v) && !l.IsNeg() && (root || fanout[v] == 1)
-		probe.Branch(brBalanceExpand, expand)
-		if !expand {
-			*leaves = append(*leaves, old2new[v].NotIf(l.IsNeg()))
-			return
-		}
-		f0, f1 := g.Fanins(v)
-		gather(f0, false, leaves)
-		gather(f1, false, leaves)
-	}
-
-	levelOf := func(l aig.Lit) int32 { return lvl[l.Var()] }
-
+	bb := &balancer{g: g, ng: ng, old2new: old2new, lvl: lvl, fanout: g.FanoutCounts()}
 	g.TopoAnds(func(v int, f0, f1 aig.Lit) {
-		var leaves []aig.Lit
-		gather(aig.MakeLit(v, false), true, &leaves)
-		old2new[v] = balancedAnd(andL, levelOf, leaves, probe)
-		probe.Ops(2)
+		bb.balanceNode(v, probe)
 	})
 	for i, o := range g.Outputs() {
 		ng.AddOutput(old2new[o.Var()].NotIf(o.IsNeg()), g.OutputName(i))
 	}
-	swept, _ := ng.Sweep()
-	swept.Name = g.Name
-	return swept
+	return sweepAccounted(ng, g.Name, probe)
+}
+
+// balancePartition rebalances the AND-trees owned by partition pi into
+// a fresh shard graph. Foreign leaves (only ever direct fanins of
+// owned nodes: a single-fanout child of an owned node is reachable
+// solely through it and is therefore owned too) become placeholder
+// inputs whose level is taken from the source graph — the best
+// available estimate of their merged depth.
+func balancePartition(g *aig.Graph, cp *aig.ConePartitioning, pi int, fanout, srcLv []int32, probe *perf.Probe) shardBuild {
+	part := cp.Parts[pi]
+	leafVars := partitionLeaves(g, cp, pi, nil, 0, 0)
+	sg := aig.New(g.Name)
+	old2new := make([]aig.Lit, g.NumVars())
+	old2new[0] = aig.False
+	lvl := make([]int32, 1, len(part.Nodes)+len(leafVars)+1)
+	for _, lv := range leafVars {
+		old2new[lv] = sg.AddInput("")
+		lvl = append(lvl, srcLv[lv])
+	}
+	bb := &balancer{g: g, ng: sg, old2new: old2new, lvl: lvl, fanout: fanout}
+	for _, v := range part.Nodes {
+		bb.balanceNode(int(v), probe)
+	}
+	return shardBuild{sg: sg, leafVars: leafVars, old2new: old2new}
+}
+
+// balancer carries the shared state of one balance target (the whole
+// graph on the serial path, one shard on the partitioned path).
+type balancer struct {
+	g, ng   *aig.Graph
+	old2new []aig.Lit
+	lvl     []int32 // levels of ng's variables, tracked incrementally
+	fanout  []int32 // fanout counts of the *source* graph
+}
+
+// andL creates an AND keeping lvl in sync (strash hits reuse the
+// recorded level of the existing node).
+func (bb *balancer) andL(a, b aig.Lit) aig.Lit {
+	l := bb.ng.And(a, b)
+	if v := l.Var(); v == len(bb.lvl) {
+		la, lb := bb.lvl[a.Var()], bb.lvl[b.Var()]
+		if lb > la {
+			la = lb
+		}
+		bb.lvl = append(bb.lvl, la+1)
+	}
+	return l
+}
+
+// gather collects the leaves of the maximal AND-tree rooted at l: the
+// tree descends through uncomplemented, single-fanout AND children
+// (the classical balancing scope).
+func (bb *balancer) gather(l aig.Lit, root bool, leaves *[]aig.Lit, probe *perf.Probe) {
+	v := l.Var()
+	probe.LoadHot(rgNode, uint64(v))
+	probe.LoopBranches(3)
+	expand := bb.g.IsAnd(v) && !l.IsNeg() && (root || bb.fanout[v] == 1)
+	probe.Branch(brBalanceExpand, expand)
+	if !expand {
+		*leaves = append(*leaves, bb.old2new[v].NotIf(l.IsNeg()))
+		return
+	}
+	f0, f1 := bb.g.Fanins(v)
+	bb.gather(f0, false, leaves, probe)
+	bb.gather(f1, false, leaves, probe)
+}
+
+// balanceNode rebuilds the maximal AND-tree rooted at v as a
+// depth-balanced tree in bb.ng.
+func (bb *balancer) balanceNode(v int, probe *perf.Probe) {
+	var leaves []aig.Lit
+	bb.gather(aig.MakeLit(v, false), true, &leaves, probe)
+	bb.old2new[v] = balancedAnd(bb.andL, func(l aig.Lit) int32 { return bb.lvl[l.Var()] }, leaves, probe)
+	probe.Ops(2)
 }
 
 // balancedAnd conjoins leaves pairing minimum-level operands first. The

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"edacloud/internal/aig"
+	"edacloud/internal/ints"
 	"edacloud/internal/par"
 	"edacloud/internal/perf"
 )
@@ -28,6 +29,14 @@ type cutEnum struct {
 	probe   *perf.Probe
 	pool    *par.Pool
 	cuts    [][]Cut
+	// parInstrs counts the instructions recorded in levels wide enough
+	// to split into multiple chunks — the genuinely parallel share of
+	// the enumeration. Narrow levels run single-chunk and serialize at
+	// the per-level barrier, so their work is excluded. parChunks is
+	// the widest such level's chunk count, the enumeration's own
+	// concurrency bound.
+	parInstrs uint64
+	parChunks int
 }
 
 // cutGrain is the per-chunk node count of the intra-level parallel
@@ -68,11 +77,16 @@ func (ce *cutEnum) run() {
 		if len(nodes) == 0 {
 			continue
 		}
+		before := ce.probe.Counters().Instrs
 		ce.pool.ForProbe(ce.probe, len(nodes), cutGrain, func(lo, hi, _ int, probe *perf.Probe) {
 			for _, v := range nodes[lo:hi] {
 				ce.enumNode(int(v), probe)
 			}
 		})
+		if chunks := ints.CeilDiv(len(nodes), cutGrain); chunks > 1 {
+			ce.parInstrs += ce.probe.Counters().Instrs - before
+			ce.parChunks = ints.Max(ce.parChunks, chunks)
+		}
 	}
 }
 

@@ -1,10 +1,20 @@
 package synth
 
 import (
+	"slices"
+
 	"edacloud/internal/aig"
+	"edacloud/internal/ints"
 	"edacloud/internal/par"
 	"edacloud/internal/perf"
 )
+
+// PartitionGrain is the per-partition AND-node target of cone-parallel
+// rebuilds (rewrite, refactor, balance). It is a fixed constant — not a
+// function of the worker count — so the partitioning, the results and
+// the probe-shard layout are identical on every machine and for every
+// pool size.
+const PartitionGrain = 96
 
 // Rewrite performs cut-based resubstitution: every node's 4-feasible
 // cuts are evaluated as truth tables, an irredundant sum-of-products
@@ -12,13 +22,17 @@ import (
 // and the cheapest realization (measured in actually-added nodes,
 // strashing included) wins. Dead logic left behind by replaced
 // realizations is swept at the end.
+//
+// Multi-cone graphs are rebuilt cone-parallel over a partitioned
+// strash: see rebuildWithCuts.
 func Rewrite(g *aig.Graph, probe *perf.Probe) *aig.Graph {
-	return rewritePool(g, probe, par.Default())
+	ng, _ := rewritePool(g, probe, par.Default())
+	return ng
 }
 
-// rewritePool is Rewrite with an explicit worker pool for its cut
-// enumeration.
-func rewritePool(g *aig.Graph, probe *perf.Probe, pool *par.Pool) *aig.Graph {
+// rewritePool is Rewrite with an explicit worker pool, also reporting
+// the pass's parallel structure.
+func rewritePool(g *aig.Graph, probe *perf.Probe, pool *par.Pool) (*aig.Graph, passStats) {
 	return rebuildWithCuts(g, probe, pool, 4, 6, 2, brRewriteGain)
 }
 
@@ -26,116 +40,332 @@ func rewritePool(g *aig.Graph, probe *perf.Probe, pool *par.Pool) *aig.Graph {
 // the classical coarse-grained companion pass: it collapses bigger
 // cones and resynthesizes them from their ISOP factorization.
 func Refactor(g *aig.Graph, probe *perf.Probe) *aig.Graph {
-	return refactorPool(g, probe, par.Default())
+	ng, _ := refactorPool(g, probe, par.Default())
+	return ng
 }
 
-// refactorPool is Refactor with an explicit worker pool for its cut
-// enumeration.
-func refactorPool(g *aig.Graph, probe *perf.Probe, pool *par.Pool) *aig.Graph {
+// refactorPool is Refactor with an explicit worker pool, also
+// reporting the pass's parallel structure.
+func refactorPool(g *aig.Graph, probe *perf.Probe, pool *par.Pool) (*aig.Graph, passStats) {
 	return rebuildWithCuts(g, probe, pool, 6, 4, 1, brRefactorGain)
+}
+
+// passStats describes the parallel structure of one executed pass: the
+// number of independent work units its widest parallel region offered
+// (cone partitions or cut-sweep chunks, whichever is larger) and how
+// many instructions it retired inside parallel regions. Optimize feeds
+// both into the phase record so the machine model's Amdahl scaling
+// reflects the measured split.
+type passStats struct {
+	chunks         int
+	parallelInstrs uint64
 }
 
 // rebuildWithCuts reconstructs g node by node, trying up to tryCuts
 // non-trivial cuts of size <= k per node and keeping the cheapest
 // realization.
-func rebuildWithCuts(g *aig.Graph, probe *perf.Probe, pool *par.Pool, k, maxCuts, tryCuts int, brSite uint64) *aig.Graph {
+//
+// Graphs whose outputs partition into more than one cone group are
+// rebuilt cone-parallel: each partition resynthesizes its owned nodes
+// into a private shard graph with its own structural hash table,
+// referencing foreign nodes (owned by lower partitions) through
+// placeholder inputs; the shards then merge into the output graph in
+// ascending partition order, so the result is bit-identical for every
+// worker count. The partitioned path may differ structurally from the
+// single-strash serial path (each shard measures realization cost
+// against its own table), but never functionally.
+func rebuildWithCuts(g *aig.Graph, probe *perf.Probe, pool *par.Pool, k, maxCuts, tryCuts int, brSite uint64) (*aig.Graph, passStats) {
+	cuts := newCutEnum(g, k, maxCuts, probe, pool)
+	parInstrs := cuts.parInstrs
+
+	// The phase's chunk bound covers both parallel regions: the cut
+	// sweep's widest level and the partition rebuilds. On the serial
+	// (single-partition) path the cut sweep is the only parallel work,
+	// so its chunk count keeps the measured fraction scalable instead
+	// of being zeroed by chunks=1.
+	cp := partitionAccounted(g, probe)
+	chunks := ints.Max(cp.NumParts(), cuts.parChunks)
+	if cp.NumParts() <= 1 {
+		return rebuildSerial(g, probe, cuts, k, tryCuts, brSite), passStats{chunks: chunks, parallelInstrs: parInstrs}
+	}
+
+	instrsBefore := probe.Counters().Instrs
+	shards := make([]shardBuild, cp.NumParts())
+	pool.ForProbe(probe, cp.NumParts(), 1, func(lo, hi, _ int, probe *perf.Probe) {
+		for pi := lo; pi < hi; pi++ {
+			shards[pi] = rebuildPartition(g, cp, pi, cuts, k, tryCuts, brSite, probe)
+		}
+	})
+	parInstrs += probe.Counters().Instrs - instrsBefore
+
+	ng := mergeShards(g, cp, shards, probe)
+	return ng, passStats{chunks: chunks, parallelInstrs: parInstrs}
+}
+
+// rebuildSerial is the single-cone path: one output graph, one strash
+// table, nodes visited in global topological order.
+func rebuildSerial(g *aig.Graph, probe *perf.Probe, cuts *cutEnum, k, tryCuts int, brSite uint64) *aig.Graph {
 	ng := aig.New(g.Name)
 	old2new := make([]aig.Lit, g.NumVars())
 	old2new[0] = aig.False
 	for i, v := range g.InputVars() {
 		old2new[v] = ng.AddInput(g.InputName(i))
 	}
-	cuts := newCutEnum(g, k, maxCuts, probe, pool)
-	var tts ttScratch
-	// Fresh node records are compulsory misses, one cache line per four
-	// 16-byte records.
-	coldCredit := 0
-	coldNodes := func(n int) {
-		coldCredit += n
-		if coldCredit >= 4 {
-			probe.LoadCold(coldCredit / 4)
-			coldCredit %= 4
-		}
-	}
-
+	rb := &rebuilder{g: g, ng: ng, old2new: old2new, cuts: cuts, k: k, tryCuts: tryCuts, brSite: brSite}
 	g.TopoAnds(func(v int, f0, f1 aig.Lit) {
-		probe.LoadHot(rgNode, uint64(v))
-		probe.LoadHot(rgStrash, strashIdx(uint64(f0)<<32|uint64(f1)))
-		probe.LoopBranches(8)
-
-		// Baseline: direct structural copy.
-		a := old2new[f0.Var()].NotIf(f0.IsNeg())
-		b := old2new[f1.Var()].NotIf(f1.IsNeg())
-		before := ng.NumVars()
-		best := ng.And(a, b)
-		bestCost := ng.NumVars() - before
-		coldNodes(bestCost)
-		if bestCost == 0 {
-			// Strash hit: nothing can beat a free node.
-			probe.Branch(brSite, false)
-			old2new[v] = best
-			return
-		}
-
-		tried := 0
-		for _, cut := range cuts.Cuts(v) {
-			if tried >= tryCuts {
-				break
-			}
-			n := len(cut.Leaves)
-			if n < 2 || n > k || (n == 1 && int(cut.Leaves[0]) == v) {
-				continue
-			}
-			// Skip cuts whose leaves include v itself (trivial cut).
-			self := false
-			for _, l := range cut.Leaves {
-				if int(l) == v {
-					self = true
-					break
-				}
-			}
-			if self {
-				continue
-			}
-			tried++
-			tt := cutTT(g, v, cut.Leaves, probe, &tts)
-			// ISOP extraction recurses over cofactors; its cost is the
-			// bulk of a resynthesis attempt.
-			probe.Ops(280)
-			cubes := isop(tt, 0, n)
-			// Realize over the new-graph leaf literals.
-			leafLits := make([]aig.Lit, n)
-			ok := true
-			for i, l := range cut.Leaves {
-				if old2new[l] == 0 && l != 0 {
-					// A leaf that was itself swept away (shouldn't
-					// happen in topo order, but stay safe).
-					ok = false
-					break
-				}
-				leafLits[i] = old2new[l]
-			}
-			if !ok {
-				continue
-			}
-			mark := ng.NumVars()
-			lit := buildCover(ng, cubes, leafLits, tt, n, probe)
-			cost := ng.NumVars() - mark
-			better := cost < bestCost
-			probe.Branch(brSite, better)
-			if better {
-				best = lit
-				bestCost = cost
-			}
-		}
-		old2new[v] = best
+		rb.rebuildNode(v, f0, f1, probe)
 	})
 	for i, o := range g.Outputs() {
 		ng.AddOutput(old2new[o.Var()].NotIf(o.IsNeg()), g.OutputName(i))
 	}
+	return sweepAccounted(ng, g.Name, probe)
+}
+
+// partitionAccounted partitions the cones, charging the serial DFS
+// marking sweep to the probe.
+func partitionAccounted(g *aig.Graph, probe *perf.Probe) *aig.ConePartitioning {
+	probe.Ops(6 * g.NumVars())
+	return g.PartitionCones(PartitionGrain)
+}
+
+// shardBuild is one partition's resynthesis product: the private shard
+// graph, the original variables backing its placeholder inputs (in
+// input order), and the original-variable -> shard-literal map.
+type shardBuild struct {
+	sg       *aig.Graph
+	leafVars []int32
+	old2new  []aig.Lit
+}
+
+// rebuildPartition resynthesizes the nodes owned by partition pi into
+// a fresh shard graph against a private strash table. Foreign
+// references — primary inputs and AND nodes owned by lower partitions,
+// whether direct fanins or cut leaves — become placeholder inputs, in
+// ascending original-variable order. The function reads g and the cut
+// lists only (both frozen before the parallel region), so partitions
+// are safe to run concurrently.
+func rebuildPartition(g *aig.Graph, cp *aig.ConePartitioning, pi int, cuts *cutEnum, k, tryCuts int, brSite uint64, probe *perf.Probe) shardBuild {
+	part := cp.Parts[pi]
+	leafVars := partitionLeaves(g, cp, pi, cuts, k, tryCuts)
+	sg := aig.New(g.Name)
+	old2new := make([]aig.Lit, g.NumVars())
+	old2new[0] = aig.False
+	for _, lv := range leafVars {
+		old2new[lv] = sg.AddInput("")
+	}
+	rb := &rebuilder{g: g, ng: sg, old2new: old2new, cuts: cuts, k: k, tryCuts: tryCuts, brSite: brSite}
+	for _, v := range part.Nodes {
+		f0, f1 := g.Fanins(int(v))
+		rb.rebuildNode(int(v), f0, f1, probe)
+	}
+	return shardBuild{sg: sg, leafVars: leafVars, old2new: old2new}
+}
+
+// partitionLeaves collects, in ascending order, every variable that
+// partition pi references without owning: primary inputs and AND nodes
+// of lower partitions, reachable either as direct fanins or as cut
+// leaves (cuts is nil for balancing, which only references fanins).
+// Only the cuts rebuildNode can actually try matter — the first
+// tryCuts usable ones per node, a deterministic prefix independent of
+// build state — so the reference sets stay small. The constant node is
+// excluded — shards map it directly. Marked vars are gathered during
+// marking and sorted, so the cost scales with the partition's
+// reference set, not the whole graph.
+func partitionLeaves(g *aig.Graph, cp *aig.ConePartitioning, pi int, cuts *cutEnum, k, tryCuts int) []int32 {
+	mark := make([]bool, g.NumVars())
+	var out []int32
+	foreign := func(u int) {
+		if u != 0 && cp.Owner[u] != int32(pi) && !mark[u] {
+			mark[u] = true
+			out = append(out, int32(u))
+		}
+	}
+	for _, v := range cp.Parts[pi].Nodes {
+		f0, f1 := g.Fanins(int(v))
+		foreign(f0.Var())
+		foreign(f1.Var())
+		if cuts == nil {
+			continue
+		}
+		tried := 0
+		for _, c := range cuts.Cuts(int(v)) {
+			if tried >= tryCuts {
+				break
+			}
+			if !usableCut(c.Leaves, int(v), k) {
+				continue
+			}
+			tried++
+			for _, l := range c.Leaves {
+				foreign(int(l))
+			}
+		}
+	}
+	slices.Sort(out)
+	return out
+}
+
+// mergeShards folds the partition shards into one output graph in
+// ascending partition order: each shard's placeholder inputs map to
+// the final literals of already-merged partitions (or primary inputs),
+// and its nodes re-strash against the accumulated table, deduplicating
+// logic that distinct shards realized identically. The merge order is
+// fixed, so the merged graph is independent of which worker built
+// which shard. The serial merge cost is recorded on the parent probe —
+// it is the non-scaling portion of a cone-parallel pass.
+func mergeShards(g *aig.Graph, cp *aig.ConePartitioning, shards []shardBuild, probe *perf.Probe) *aig.Graph {
+	ng := aig.New(g.Name)
+	final := make([]aig.Lit, g.NumVars())
+	final[0] = aig.False
+	for i, v := range g.InputVars() {
+		final[v] = ng.AddInput(g.InputName(i))
+	}
+	for pi := range shards {
+		sb := &shards[pi]
+		inMap := make([]aig.Lit, len(sb.leafVars))
+		for i, lv := range sb.leafVars {
+			inMap[i] = final[lv]
+		}
+		before := ng.NumVars()
+		m := ng.Append(sb.sg, inMap)
+		// Replay the merge's strash traffic: every shard node probes the
+		// accumulated hash table with its mapped fanin pair, and the
+		// records the append actually created are compulsory misses.
+		sb.sg.TopoAnds(func(v int, f0, f1 aig.Lit) {
+			f0m := m[f0.Var()].NotIf(f0.IsNeg())
+			f1m := m[f1.Var()].NotIf(f1.IsNeg())
+			probe.LoadHot(rgNode, uint64(v))
+			probe.LoadHot(rgStrash, strashIdx(uint64(f0m)<<32|uint64(f1m)))
+			probe.Ops(10)
+			probe.LoopBranches(2)
+		})
+		probe.LoadCold((ng.NumVars() - before) / 4)
+		for _, v := range cp.Parts[pi].Nodes {
+			sl := sb.old2new[v]
+			final[v] = m[sl.Var()].NotIf(sl.IsNeg())
+		}
+	}
+	for i, o := range g.Outputs() {
+		ng.AddOutput(final[o.Var()].NotIf(o.IsNeg()), g.OutputName(i))
+	}
+	return sweepAccounted(ng, g.Name, probe)
+}
+
+// sweepAccounted runs the final dead-node sweep, charging its serial
+// full-graph copy to the probe: one node record touch and a handful of
+// bookkeeping instructions per variable.
+func sweepAccounted(ng *aig.Graph, name string, probe *perf.Probe) *aig.Graph {
+	probe.Ops(4 * ng.NumVars())
+	probe.LoadCold(ng.NumVars() / 8)
 	swept, _ := ng.Sweep()
-	swept.Name = g.Name
+	swept.Name = name
 	return swept
+}
+
+// rebuilder carries the shared state of one rebuild target (the whole
+// graph on the serial path, one shard on the partitioned path).
+type rebuilder struct {
+	g, ng   *aig.Graph
+	old2new []aig.Lit
+	cuts    *cutEnum
+	k       int
+	tryCuts int
+	brSite  uint64
+	tts     ttScratch
+	// coldCredit batches compulsory-miss accounting: fresh node records
+	// are one cache line per four 16-byte records.
+	coldCredit int
+}
+
+func (rb *rebuilder) coldNodes(n int, probe *perf.Probe) {
+	rb.coldCredit += n
+	if rb.coldCredit >= 4 {
+		probe.LoadCold(rb.coldCredit / 4)
+		rb.coldCredit %= 4
+	}
+}
+
+// usableCut reports whether a cut is a legal resynthesis candidate for
+// node v: non-empty, at most k leaves, and not containing v itself.
+// The self test subsumes the old `n == 1 && leaves[0] == v` clause,
+// which was unreachable behind an `n < 2` bound; dropping that bound
+// also admits 1-leaf cuts over a *different* variable, which collapse
+// v to a wire when a cone degenerates to a single leaf.
+func usableCut(leaves []int32, v, k int) bool {
+	if len(leaves) < 1 || len(leaves) > k {
+		return false
+	}
+	for _, l := range leaves {
+		if int(l) == v {
+			return false
+		}
+	}
+	return true
+}
+
+// rebuildNode re-realizes one AND node into rb.ng, keeping the
+// cheapest of the direct structural copy and up to tryCuts cut-based
+// resyntheses.
+func (rb *rebuilder) rebuildNode(v int, f0, f1 aig.Lit, probe *perf.Probe) {
+	probe.LoadHot(rgNode, uint64(v))
+	probe.LoadHot(rgStrash, strashIdx(uint64(f0)<<32|uint64(f1)))
+	probe.LoopBranches(8)
+
+	// Baseline: direct structural copy.
+	a := rb.old2new[f0.Var()].NotIf(f0.IsNeg())
+	b := rb.old2new[f1.Var()].NotIf(f1.IsNeg())
+	before := rb.ng.NumVars()
+	best := rb.ng.And(a, b)
+	bestCost := rb.ng.NumVars() - before
+	rb.coldNodes(bestCost, probe)
+	if bestCost == 0 {
+		// Strash hit: nothing can beat a free node.
+		probe.Branch(rb.brSite, false)
+		rb.old2new[v] = best
+		return
+	}
+
+	tried := 0
+	for _, cut := range rb.cuts.Cuts(v) {
+		if tried >= rb.tryCuts {
+			break
+		}
+		if !usableCut(cut.Leaves, v, rb.k) {
+			continue
+		}
+		tried++
+		n := len(cut.Leaves)
+		tt := cutTT(rb.g, v, cut.Leaves, probe, &rb.tts)
+		// ISOP extraction recurses over cofactors; its cost is the
+		// bulk of a resynthesis attempt.
+		probe.Ops(280)
+		cubes := isop(tt, 0, n)
+		// Realize over the new-graph leaf literals.
+		leafLits := make([]aig.Lit, n)
+		ok := true
+		for i, l := range cut.Leaves {
+			if rb.old2new[l] == 0 && l != 0 {
+				// A leaf that was itself swept away (shouldn't
+				// happen in topo order, but stay safe).
+				ok = false
+				break
+			}
+			leafLits[i] = rb.old2new[l]
+		}
+		if !ok {
+			continue
+		}
+		mark := rb.ng.NumVars()
+		lit := buildCover(rb.ng, cubes, leafLits, tt, n, probe)
+		cost := rb.ng.NumVars() - mark
+		better := cost < bestCost
+		probe.Branch(rb.brSite, better)
+		if better {
+			best = lit
+			bestCost = cost
+		}
+	}
+	rb.old2new[v] = best
 }
 
 // buildCover realizes a cube cover over the given leaf literals,

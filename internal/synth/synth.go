@@ -70,17 +70,31 @@ func RecipeByName(name string) (Recipe, error) {
 	return Recipe{}, fmt.Errorf("synth: unknown recipe %q", name)
 }
 
-// runPass dispatches one optimization pass.
-func runPass(g *aig.Graph, p PassKind, probe *perf.Probe, pool *par.Pool) (*aig.Graph, error) {
+// runPass dispatches one optimization pass, reporting its measured
+// parallel structure.
+func runPass(g *aig.Graph, p PassKind, probe *perf.Probe, pool *par.Pool) (*aig.Graph, passStats, error) {
+	var ng *aig.Graph
+	var stats passStats
 	switch p {
 	case PassBalance:
-		return Balance(g, probe), nil
+		ng, stats = balancePool(g, probe, pool)
 	case PassRewrite:
-		return rewritePool(g, probe, pool), nil
+		ng, stats = rewritePool(g, probe, pool)
 	case PassRefactor:
-		return refactorPool(g, probe, pool), nil
+		ng, stats = refactorPool(g, probe, pool)
+	default:
+		return nil, stats, fmt.Errorf("synth: unknown pass %v", p)
 	}
-	return nil, fmt.Errorf("synth: unknown pass %v", p)
+	return ng, stats, nil
+}
+
+// RunPass applies a single optimization pass with an explicit worker
+// bound (0 means GOMAXPROCS). The result is bit-identical for every
+// worker count; benchmarks and conformance tests use this to pin the
+// serial baseline against the full pool.
+func RunPass(g *aig.Graph, p PassKind, probe *perf.Probe, workers int) (*aig.Graph, error) {
+	ng, _, err := runPass(g, p, probe, par.Fixed(workers))
+	return ng, err
 }
 
 // Optimize applies a recipe to the AIG, recording one perf phase per
@@ -90,32 +104,24 @@ func Optimize(g *aig.Graph, recipe Recipe, probe *perf.Probe, report *perf.Repor
 }
 
 // optimize is Optimize with an explicit worker pool for the passes'
-// cut enumeration.
+// cut enumeration and cone-parallel rebuilds.
 func optimize(g *aig.Graph, recipe Recipe, probe *perf.Probe, report *perf.Report, pool *par.Pool) (*aig.Graph, error) {
 	cur := g
 	for _, p := range recipe.Passes {
-		next, err := runPass(cur, p, probe, pool)
+		next, stats, err := runPass(cur, p, probe, pool)
 		if err != nil {
 			return nil, err
 		}
 		cur = next
 		if report != nil {
-			// AIG passes parallelize over independent output cones but
-			// serialize on the shared hash table — modest fractions.
-			report.AddPhase(probe.TakePhase(p.String(), 0.52, outputChunks(cur)))
+			// The phase's Amdahl profile is measured, not modeled: the
+			// cut sweeps and per-partition cone rebuilds scale across
+			// the partition count, while partitioning, shard merging
+			// and the final sweep serialize.
+			report.AddPhase(probe.TakePhaseMeasured(p.String(), stats.parallelInstrs, stats.chunks))
 		}
 	}
 	return cur, nil
-}
-
-// outputChunks estimates independent work units for cone-parallel
-// passes.
-func outputChunks(g *aig.Graph) int {
-	c := g.NumOutputs()
-	if c < 1 {
-		c = 1
-	}
-	return c
 }
 
 // Options configures Synthesize.

@@ -236,6 +236,144 @@ func TestQuickPassesPreserveRandomGraphs(t *testing.T) {
 	}
 }
 
+// randAIG builds a seeded random multi-output AIG shaped like a real
+// design: each output grows its own random sub-cone over the shared
+// inputs with a few cross-links into earlier cones. The block
+// structure keeps per-output incremental cone sizes comparable, so
+// the graph spans several partitions and the cone-parallel pass paths
+// are what the property tests exercise.
+func randAIG(seed int64, inputs, andsPerOutput, outputs int) *aig.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := aig.New("rand")
+	var ins []aig.Lit
+	for i := 0; i < inputs; i++ {
+		ins = append(ins, g.AddInput(""))
+	}
+	var prev []aig.Lit // roots of earlier cones, for cross-links
+	for o := 0; o < outputs; o++ {
+		lits := append([]aig.Lit(nil), ins...)
+		for i := 0; i < 2 && len(prev) > 0; i++ {
+			lits = append(lits, prev[rng.Intn(len(prev))])
+		}
+		// Chain the block so the root's cone spans it; mixing AND, OR
+		// and XOR keeps the function balanced instead of collapsing
+		// toward a constant.
+		acc := lits[rng.Intn(len(lits))]
+		for i := 0; i < andsPerOutput; i++ {
+			b := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+			switch rng.Intn(3) {
+			case 0:
+				acc = g.And(acc, b)
+			case 1:
+				acc = g.Or(acc, b)
+			default:
+				acc = g.Xor(acc, b)
+			}
+			lits = append(lits, acc)
+		}
+		prev = append(prev, acc)
+		g.AddOutput(acc.NotIf(rng.Intn(2) == 0), "")
+	}
+	return g
+}
+
+// TestRecipePassesSimEquivOnRandomAIGs is the functional-equivalence
+// property behind the parallel rewrite: for seeded random AIGs and
+// every standard recipe, each pass's output is SimEquiv to its input.
+// This catches miscompiles the bit-identity determinism tests cannot —
+// the partitioned path is allowed to differ *structurally* from the
+// single-strash serial path, but never *functionally*.
+func TestRecipePassesSimEquivOnRandomAIGs(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		g := randAIG(seed, 12, 70, 8)
+		if parts := g.PartitionCones(PartitionGrain).NumParts(); parts < 3 {
+			t.Fatalf("precondition: random AIG spans %d partitions, want >= 3", parts)
+		}
+		for _, r := range StandardRecipes {
+			cur := g
+			for pi, p := range r.Passes {
+				next, err := RunPass(cur, p, nil, 0)
+				if err != nil {
+					t.Fatalf("seed %d recipe %s pass %d: %v", seed, r.Name, pi, err)
+				}
+				if !aig.SimEquiv(cur, next, seed<<8|int64(pi), 12) {
+					t.Fatalf("seed %d recipe %s: pass %d (%v) changed function", seed, r.Name, pi, p)
+				}
+				cur = next
+			}
+			if !aig.SimEquiv(g, cur, seed, 12) {
+				t.Fatalf("seed %d recipe %s: end-to-end function changed", seed, r.Name)
+			}
+		}
+	}
+}
+
+// --- trivial-cut guards ---
+
+// TestUsableCutGuard pins the cut-candidate filter: the old guard's
+// `n == 1 && leaves[0] == v` clause was dead behind `n < 2`; the self
+// test now covers it, 1-leaf cuts over other variables are legal, and
+// any cut containing v itself is rejected whatever its size.
+func TestUsableCutGuard(t *testing.T) {
+	const v, k = 5, 4
+	cases := []struct {
+		leaves []int32
+		want   bool
+		name   string
+	}{
+		{nil, false, "empty"},
+		{[]int32{5}, false, "1-leaf self (the formerly dead clause)"},
+		{[]int32{3}, true, "1-leaf non-self"},
+		{[]int32{2, 3}, true, "2-leaf"},
+		{[]int32{2, 5}, false, "self inside 2-leaf"},
+		{[]int32{2, 5, 7}, false, "self inside 3-leaf"},
+		{[]int32{1, 2, 3, 4, 6}, false, "oversize"},
+	}
+	for _, c := range cases {
+		if got := usableCut(c.leaves, v, k); got != c.want {
+			t.Errorf("%s: usableCut(%v) = %v, want %v", c.name, c.leaves, got, c.want)
+		}
+	}
+}
+
+// TestRebuildSkipsSelfCuts injects cut lists containing only each
+// node's trivial self cut — the case the dead guard was meant for. The
+// rebuild must skip them all (a self cut would read old2new[v] before
+// it is written) and fall back to the structural copy.
+func TestRebuildSkipsSelfCuts(t *testing.T) {
+	g := designs.MustBenchmark("int2float", 0.12)
+	ce := &cutEnum{g: g, k: 4, maxCuts: 1, cuts: make([][]Cut, g.NumVars())}
+	g.TopoAnds(func(v int, _, _ aig.Lit) {
+		ce.cuts[v] = []Cut{{Leaves: []int32{int32(v)}}}
+	})
+	ng := rebuildSerial(g, nil, ce, 4, 2, brRewriteGain)
+	if !aig.SimEquiv(g, ng, 7, 12) {
+		t.Fatal("self-cut-only rebuild changed function")
+	}
+	if ng.NumAnds() > g.NumAnds() {
+		t.Fatalf("self-cut-only rebuild grew the graph: %d > %d", ng.NumAnds(), g.NumAnds())
+	}
+}
+
+// TestBuildCoverOneLeaf pins the 1-leaf realization the widened guard
+// admits: identity collapses to the leaf wire, complement to its
+// negation, at zero added nodes.
+func TestBuildCoverOneLeaf(t *testing.T) {
+	ng := aig.New("t")
+	a := ng.AddInput("a")
+	id := ttVar(0, 1)
+	if lit := buildCover(ng, isop(id, 0, 1), []aig.Lit{a}, id, 1, nil); lit != a {
+		t.Fatalf("identity cover = %v, want %v", lit, a)
+	}
+	neg := ttNot(id, 1) & ttMask(1)
+	if lit := buildCover(ng, isop(neg, 0, 1), []aig.Lit{a}, neg, 1, nil); lit != a.Not() {
+		t.Fatalf("complement cover = %v, want %v", lit, a.Not())
+	}
+	if ng.NumAnds() != 0 {
+		t.Fatalf("1-leaf covers added %d nodes", ng.NumAnds())
+	}
+}
+
 // --- recipes ---
 
 func TestRecipeByName(t *testing.T) {
