@@ -13,8 +13,11 @@ package edacloud
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"testing"
@@ -46,6 +49,40 @@ var (
 	charResult *core.DesignCharacterization
 	charErr    error
 )
+
+// benchSnapshot writes one BENCH_<name>.json perf-trajectory snapshot
+// when the BENCH_JSON env var names a directory ("1" means the current
+// directory). Each file records the metrics the benchmark already
+// reports via b.ReportMetric, plus the core count and a timestamp, so
+// CI smoke runs leave machine-readable artifacts that regression hunts
+// and roadmap re-anchors can diff across commits.
+func benchSnapshot(b *testing.B, name string, metrics map[string]float64) {
+	b.Helper()
+	dir := os.Getenv("BENCH_JSON")
+	if dir == "" {
+		return
+	}
+	if dir == "1" {
+		dir = "."
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		b.Fatal(err)
+	}
+	snap := struct {
+		Benchmark  string             `json:"benchmark"`
+		GoMaxProcs int                `json:"gomaxprocs"`
+		UnixSec    int64              `json:"unix_sec"`
+		Metrics    map[string]float64 `json:"metrics"`
+	}{name, runtime.GOMAXPROCS(0), time.Now().Unix(), metrics}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(dir, "BENCH_"+name+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
 
 // characterizeOnce profiles the paper's headline design once and
 // shares it across the Figure 2 and Table I benchmarks.
@@ -467,6 +504,11 @@ func reportParSpeedup(b *testing.B, first bool, name string, serial, parallel ti
 	if first {
 		fmt.Printf("\nParSpeedup %-16s cores=%d serial=%v parallel=%v speedup=%.2fx\n",
 			name, runtime.GOMAXPROCS(0), serial.Round(time.Millisecond), parallel.Round(time.Millisecond), ratio)
+		benchSnapshot(b, "ParSpeedup_"+name, map[string]float64{
+			"serial_sec":   serial.Seconds(),
+			"parallel_sec": parallel.Seconds(),
+			"x_speedup":    ratio,
+		})
 	}
 }
 
@@ -653,6 +695,76 @@ func BenchmarkFleetThroughput(b *testing.B) {
 			fmt.Printf("\nFleetThroughput cores=%d jobs=%d fleet=%s wall=%v rate=%.2f jobs/s util=%.1f%% wait=%.0fs cost=$%.4f\n",
 				runtime.GOMAXPROCS(0), len(jobs), res.Fleet, elapsed.Round(time.Millisecond),
 				rate, res.UtilizationPct, res.TotalWaitSec, res.TotalCostUSD)
+			benchSnapshot(b, "FleetThroughput", map[string]float64{
+				"jobs_per_sec": rate,
+				"util_pct":     res.UtilizationPct,
+				"wait_sec":     res.TotalWaitSec,
+				"cost_usd":     res.TotalCostUSD,
+			})
+		}
+	}
+}
+
+// BenchmarkSpotRecovery is the smoke benchmark of the preemptible
+// fleet: the FleetThroughput batch re-run entirely on spot instances
+// under a seeded revocation model, with stage-boundary checkpoint
+// recovery and retries generous enough that every job completes. It
+// reports jobs/sec and the share of busy CPU time lost to preemption
+// (work re-run below the last checkpoint); the placement and every
+// revocation replay deterministically from the hazard seed, so the CI
+// run doubles as a regression pin on the recovery path.
+func BenchmarkSpotRecovery(b *testing.B) {
+	catalog, err := cloud.DefaultCatalog().WithSpot(0.7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	catalog = catalog.WithMinBill(60)
+	spot, err := catalog.ByName("mem.4x.spot")
+	if err != nil {
+		b.Fatal(err)
+	}
+	retry := flow.RetryPolicy{MaxAttempts: 1000, BackoffSec: 20}
+	var jobs []flow.Job
+	for i, name := range []string{"dyn_node", "aes", "ibex", "jpeg", "aes", "dyn_node"} {
+		g := designs.MustEvalDesign(name, benchScale)
+		jobs = append(jobs, flow.Job{
+			Name: fmt.Sprintf("%s#%d", name, i), Design: g, Lib: benchLib,
+			Instance: spot, WorkScale: 2e4, Retry: retry,
+		})
+	}
+	for i := 0; i < b.N; i++ {
+		fleet, err := cloud.ParseFleetSpec(catalog, "gp.4x.spot=1,mem.4x.spot=1,mem.8x.spot=1")
+		if err != nil {
+			b.Fatal(err)
+		}
+		fleet.Revocation = cloud.NewRevocationModel(17, cloud.UniformSpotHazards(catalog, 12))
+		sched := &flow.Scheduler{Fleet: fleet, Policy: flow.FirstFit{}}
+		start := time.Now()
+		res, err := sched.Run(context.Background(), jobs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Failed > 0 {
+			b.Fatalf("%d jobs failed under the fixed hazard seed", res.Failed)
+		}
+		if res.Revocations == 0 {
+			b.Fatal("hazard seed produced no revocations; the benchmark is not exercising recovery")
+		}
+		elapsed := time.Since(start)
+		rate := float64(len(jobs)) / elapsed.Seconds()
+		lostPct := 100 * res.RetriedSec / res.TotalCPUSeconds
+		b.ReportMetric(rate, "jobs/s")
+		b.ReportMetric(lostPct, "lost%")
+		if i == 0 {
+			fmt.Printf("\nSpotRecovery cores=%d jobs=%d fleet=%s wall=%v rate=%.2f jobs/s revs=%d lost=%.1f%% cost=$%.4f\n",
+				runtime.GOMAXPROCS(0), len(jobs), res.Fleet, elapsed.Round(time.Millisecond),
+				rate, res.Revocations, lostPct, res.TotalCostUSD)
+			benchSnapshot(b, "SpotRecovery", map[string]float64{
+				"jobs_per_sec": rate,
+				"revocations":  float64(res.Revocations),
+				"lost_pct":     lostPct,
+				"cost_usd":     res.TotalCostUSD,
+			})
 		}
 	}
 }
@@ -693,6 +805,10 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 		if i == 0 {
 			fmt.Printf("\nSchedulerThroughput cores=%d jobs=%d wall=%v rate=%.2f jobs/s cost=$%.4f\n",
 				runtime.GOMAXPROCS(0), len(jobs), elapsed.Round(time.Millisecond), rate, res.TotalCostUSD)
+			benchSnapshot(b, "SchedulerThroughput", map[string]float64{
+				"jobs_per_sec": rate,
+				"cost_usd":     res.TotalCostUSD,
+			})
 		}
 	}
 }
@@ -751,6 +867,12 @@ func BenchmarkBatchOptimize(b *testing.B) {
 			fmt.Printf("\nBatchOptimize cores=%d jobs=%d fleet=%d machines method=%s rounds=%d missed=%d cost=$%.4f makespan=%ds wall=%v\n",
 				runtime.GOMAXPROCS(0), nJobs, fleetSize, sel.Method, sel.Rounds,
 				sel.MissedDeadlines, sel.TotalCost, sel.MakespanSec, elapsed.Round(time.Microsecond))
+			benchSnapshot(b, "BatchOptimize", map[string]float64{
+				"jobs_per_sec": float64(nJobs) / elapsed.Seconds(),
+				"cost_usd":     sel.TotalCost,
+				"makespan_sec": float64(sel.MakespanSec),
+				"rounds":       float64(sel.Rounds),
+			})
 		}
 	}
 }

@@ -13,6 +13,27 @@ var update = flag.Bool("update", false, "rewrite the golden files")
 // stdout end to end: the co-optimized plans, the contended schedule
 // with its per-stage placements (where adaptive upgrades are visible
 // as off-plan instances), and the fleet ledger.
+// TestSpotFleetGolden pins the -spot fleet batch's stdout end to end:
+// the per-job schedule with revocation and lost-work columns, the
+// per-attempt stage table (checkpoint recovery and escalation to the
+// on-demand counterpart are visible as attempt-2 rows on mem.4x), the
+// batch preemption summary, and the truncated-lease fleet ledger.
+func TestSpotFleetGolden(t *testing.T) {
+	bin := clitest.Build(t, "")
+	got := clitest.Run(t, bin,
+		"-design", "aes",
+		"-scale", "0.03",
+		"-fleet", "mem.4x.spot=2,mem.4x=1",
+		"-batch", "3",
+		"-instance", "mem.4x.spot",
+		"-spot",
+		"-hazard-seed", "11",
+		"-hazard-rate", "60",
+		"-escalate-after", "1",
+	)
+	clitest.Golden(t, "testdata/spot_fleet.golden", got, *update)
+}
+
 func TestAdaptiveFleetGolden(t *testing.T) {
 	bin := clitest.Build(t, "")
 	got := clitest.Run(t, bin,

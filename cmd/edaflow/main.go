@@ -14,6 +14,15 @@
 //	edaflow -design ibex -fleet mem.8x=2 -batch 4 -instance mem.8x
 //	edaflow -design aes -fleet gp.4x=1,mem.8x=1 -batch 3 -policy firstfit -minbill 60
 //	edaflow -design ibex -fleet gp.1x=1,gp.8x=1,mem.1x=1,mem.8x=1 -batch 3 -policy adaptive
+//	edaflow -design aes -fleet mem.4x.spot=2,mem.4x=1 -batch 3 -instance mem.4x.spot -spot -hazard-seed 11 -escalate-after 1
+//
+// -spot prices revocable twins of every catalog type at a 30%
+// discount and arms a seeded revocation injector over the fleet's
+// spot instances: revoked stages lose only the work since their last
+// stage-boundary checkpoint, re-enter the queue with backoff, and can
+// escalate to the on-demand counterpart after -escalate-after
+// revocations. The schedule and ledger report the revocations and the
+// lost work alongside the usual columns.
 package main
 
 import (
@@ -51,6 +60,10 @@ func main() {
 	policyName := flag.String("policy", "single", "fleet placement policy: single (job keeps one machine), firstfit (greedy any-machine, per stage), or adaptive (co-optimized stage plans, upgrading when queueing eats a job's slack; needs -design)")
 	minBill := flag.Float64("minbill", 0, "minimum billing granularity in seconds (0 = pure per-second)")
 	deadlineSec := flag.Float64("deadline", 0, "per-job completion deadline in simulated seconds (0 = none)")
+	spot := flag.Bool("spot", false, "price revocable spot twins of every type at a 30% discount and arm the revocation injector")
+	hazardSeed := flag.Int64("hazard-seed", 1, "revocation timeline seed for -spot")
+	hazardRate := flag.Float64("hazard-rate", 60, "revocations per spot-instance-hour for -spot")
+	escalateAfter := flag.Int("escalate-after", 0, "escalate a stage to the on-demand counterpart after this many revocations (0 = never)")
 	flag.Parse()
 
 	var g *aig.Graph
@@ -82,8 +95,13 @@ func main() {
 			policy: *policyName, minBill: *minBill, deadline: *deadlineSec,
 			workers: *workers, registers: *registers, clock: *clock,
 			design: *design, scale: *scale,
+			spot: *spot, hazardSeed: *hazardSeed, hazardRate: *hazardRate,
+			escalateAfter: *escalateAfter,
 		})
 		return
+	}
+	if *spot {
+		fail(fmt.Errorf("-spot needs -fleet: revocations only exist in the fleet simulation"))
 	}
 
 	estCells := flow.EstimateCells(g.NumAnds())
@@ -163,6 +181,12 @@ type batchConfig struct {
 	// policy, which must re-characterize it to build choice tables.
 	design string
 	scale  float64
+	// spot arms the preemptible-fleet mode: discounted revocable twins
+	// in the catalog plus a seeded revocation injector over the fleet.
+	spot          bool
+	hazardSeed    int64
+	hazardRate    float64
+	escalateAfter int
 }
 
 // runFleetBatch schedules copies of the configured flow over a bounded
@@ -173,12 +197,24 @@ type batchConfig struct {
 // within their choice tables at placement time.
 func runFleetBatch(g *aig.Graph, lib *techlib.Library, recipe synth.Recipe, stageList []flow.Stage, cfg batchConfig) {
 	catalog := cloud.DefaultCatalog()
+	if cfg.spot {
+		var err error
+		if catalog, err = catalog.WithSpot(0.7); err != nil {
+			fail(err)
+		}
+	}
 	if cfg.minBill > 0 {
 		catalog = catalog.WithMinBill(cfg.minBill)
 	}
 	fleet, err := cloud.ParseFleetSpec(catalog, cfg.fleetSpec)
 	if err != nil {
 		fail(err)
+	}
+	var retry flow.RetryPolicy
+	if cfg.spot {
+		fleet.Revocation = cloud.NewRevocationModel(cfg.hazardSeed,
+			cloud.UniformSpotHazards(catalog, cfg.hazardRate))
+		retry = flow.RetryPolicy{MaxAttempts: 50, BackoffSec: 30, EscalateAfter: cfg.escalateAfter}
 	}
 
 	var sched *flow.Schedule
@@ -210,6 +246,7 @@ func runFleetBatch(g *aig.Graph, lib *techlib.Library, recipe synth.Recipe, stag
 				Options:     opts,
 				Instance:    inst,
 				DeadlineSec: cfg.deadline,
+				Retry:       retry,
 				// Extrapolate the reduced-scale simulation to full-flow
 				// magnitudes (the dataset generator's representative factor).
 				WorkScale: 2e4,
@@ -225,15 +262,25 @@ func runFleetBatch(g *aig.Graph, lib *techlib.Library, recipe synth.Recipe, stag
 		if stageList != nil || cfg.registers || cfg.clock != 1.0 {
 			fail(fmt.Errorf("-policy adaptive runs the full default flow; -stages, -registers and -clock do not apply"))
 		}
+		if cfg.spot {
+			fail(fmt.Errorf("-spot applies to the single and firstfit policies; use optimize -spot for risk-adjusted planning"))
+		}
 		sched = runAdaptiveBatch(lib, catalog, fleet, recipe, cfg)
 		perJobDeadlines = true
 	default:
 		fail(fmt.Errorf("unknown policy %q (want single, firstfit or adaptive)", cfg.policy))
 	}
 
-	fmt.Printf("Fleet batch: %d x %s on %s (policy %s)\n\n", cfg.batch, g.Name, fleet, sched.Policy)
-	fmt.Printf("%-12s %9s %9s %9s %9s %10s %9s\n",
-		"job", "start", "busy", "wait", "finish", "cost ($)", "deadline")
+	if cfg.spot {
+		fmt.Printf("Fleet batch: %d x %s on %s (policy %s, hazard %.0f/h, seed %d)\n\n",
+			cfg.batch, g.Name, fleet, sched.Policy, cfg.hazardRate, cfg.hazardSeed)
+		fmt.Printf("%-12s %9s %9s %9s %9s %10s %6s %9s %9s\n",
+			"job", "start", "busy", "wait", "finish", "cost ($)", "revs", "lost", "deadline")
+	} else {
+		fmt.Printf("Fleet batch: %d x %s on %s (policy %s)\n\n", cfg.batch, g.Name, fleet, sched.Policy)
+		fmt.Printf("%-12s %9s %9s %9s %9s %10s %9s\n",
+			"job", "start", "busy", "wait", "finish", "cost ($)", "deadline")
+	}
 	for _, j := range sched.Jobs {
 		if j.Err != nil {
 			fail(j.Err)
@@ -245,8 +292,28 @@ func runFleetBatch(g *aig.Graph, lib *techlib.Library, recipe synth.Recipe, stag
 		if !perJobDeadlines {
 			status = "-"
 		}
+		if cfg.spot {
+			fmt.Printf("%-12s %8.0fs %8.0fs %8.0fs %8.0fs %10.4f %6d %8.0fs %9s\n",
+				j.Name, j.StartSec, j.Seconds, j.WaitSec, j.FinishSec, j.CostUSD,
+				j.Revocations, j.RetriedSec, status)
+			continue
+		}
 		fmt.Printf("%-12s %8.0fs %8.0fs %8.0fs %8.0fs %10.4f %9s\n",
 			j.Name, j.StartSec, j.Seconds, j.WaitSec, j.FinishSec, j.CostUSD, status)
+	}
+	if cfg.spot {
+		fmt.Printf("\n%-12s %-10s %-14s %7s %9s %9s %9s\n",
+			"job", "stage", "instance", "attempt", "start", "busy", "outcome")
+		for _, j := range sched.Jobs {
+			for _, st := range j.Stages {
+				outcome := "done"
+				if st.Revoked {
+					outcome = "REVOKED"
+				}
+				fmt.Printf("%-12s %-10s %-14s %7d %8.0fs %8.0fs %9s\n",
+					j.Name, st.Kind, st.Instance, st.Attempt, st.StartSec, st.Seconds, outcome)
+			}
+		}
 	}
 	if cfg.policy == "adaptive" {
 		fmt.Printf("\n%-12s %-10s %-10s %9s %9s %9s\n",
@@ -258,8 +325,14 @@ func runFleetBatch(g *aig.Graph, lib *techlib.Library, recipe synth.Recipe, stag
 			}
 		}
 	}
-	fmt.Printf("\nBatch: $%.4f, makespan %.0fs, %.0fs queued, fleet %.1f%% utilized\n\n",
-		sched.TotalCostUSD, sched.MakespanSec, sched.TotalWaitSec, sched.UtilizationPct)
+	if cfg.spot {
+		fmt.Printf("\nBatch: $%.4f, makespan %.0fs, %.0fs queued, %d revocations, %.0fs lost to preemption, fleet %.1f%% utilized\n\n",
+			sched.TotalCostUSD, sched.MakespanSec, sched.TotalWaitSec,
+			sched.Revocations, sched.RetriedSec, sched.UtilizationPct)
+	} else {
+		fmt.Printf("\nBatch: $%.4f, makespan %.0fs, %.0fs queued, fleet %.1f%% utilized\n\n",
+			sched.TotalCostUSD, sched.MakespanSec, sched.TotalWaitSec, sched.UtilizationPct)
+	}
 	fmt.Printf("%-12s %7s %9s %10s %7s\n", "instance", "leases", "busy", "cost ($)", "util")
 	for _, row := range sched.Fleet.Ledger(sched.MakespanSec) {
 		fmt.Printf("%-12s %7d %8.0fs %10.4f %6.1f%%\n",

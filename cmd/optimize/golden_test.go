@@ -15,6 +15,26 @@ var update = flag.Bool("update", false, "rewrite the golden files")
 // execution comparison. Every printed value is simulated and
 // deterministic, so the comparison is byte-exact after whitespace
 // normalization.
+// TestSpotGolden pins the -spot mode's three-way comparison: the
+// on-demand, naive-spot and risk-adjusted plans, their executions
+// under the same seeded revocation timelines, and the closing verdict.
+// The scenario is calibrated so the naive gamble misses one deadline
+// and loses one job to the attempt cap while the risk-adjusted plan
+// meets everything for less money — the PR's headline behavior, pinned
+// byte-exactly.
+func TestSpotGolden(t *testing.T) {
+	bin := clitest.Build(t, "")
+	got := clitest.Run(t, bin,
+		"-spot",
+		"-designs", "aes,jpeg",
+		"-slack", "1.15",
+		"-hazard-seed", "2",
+		"-hazard-rate", "240",
+		"-scale", "0.03",
+	)
+	clitest.Golden(t, "testdata/spot.golden", got, *update)
+}
+
 func TestBatchGolden(t *testing.T) {
 	bin := clitest.Build(t, "")
 	got := clitest.Run(t, bin,

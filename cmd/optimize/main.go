@@ -20,6 +20,13 @@
 //	optimize -execute -design ibex -deadline 250
 //	optimize -execute -fleet gp.1x=1,mem.8x=2 -minbill 60
 //	optimize -batch -designs ibex,aes,ibex -fleet gp.1x=1,gp.8x=1,mem.1x=1,mem.8x=1
+//	optimize -spot -designs aes,jpeg -slack 1.15 -hazard-seed 2 -hazard-rate 240
+//
+// -spot is the preemptible-fleet experiment: the same batch planned
+// three ways — on-demand only, naively on spot prices, and with
+// revocation-risk-adjusted expected cost — then executed under the
+// same seeded revocation timelines, so the realized bills and missed
+// deadlines of the three strategies are directly comparable.
 package main
 
 import (
@@ -32,6 +39,7 @@ import (
 	"edacloud/internal/cloud"
 	"edacloud/internal/core"
 	"edacloud/internal/flow"
+	"edacloud/internal/mckp"
 	"edacloud/internal/techlib"
 )
 
@@ -42,6 +50,9 @@ func main() {
 	figure6 := flag.Bool("figure6", false, "regenerate Figure 6")
 	execute := flag.Bool("execute", false, "execute the optimized plan on a fleet and compare against the prediction")
 	batch := flag.Bool("batch", false, "co-optimize a batch of flows against one shared fleet")
+	spot := flag.Bool("spot", false, "compare on-demand, naive-spot and risk-adjusted batch plans under seeded revocations")
+	hazardSeed := flag.Int64("hazard-seed", 1, "revocation timeline seed for -spot")
+	hazardRate := flag.Float64("hazard-rate", 240, "revocations per spot-instance-hour for -spot")
 	designList := flag.String("designs", "ibex,aes,ibex", "comma-separated designs for -batch (repeats allowed)")
 	deadlineList := flag.String("deadlines", "", "comma-separated deadline seconds for Table I (default: derived from the design)")
 	deadline := flag.Int("deadline", 0, "deadline seconds for -execute (0 = midway between fastest and cheapest)")
@@ -51,7 +62,7 @@ func main() {
 	workers := flag.Int("workers", 0, "bound for the characterization fan-out and kernel pools (0 = all cores; results identical)")
 	flag.Parse()
 
-	if !*table1 && !*figure6 && !*execute && !*batch {
+	if !*table1 && !*figure6 && !*execute && !*batch && !*spot {
 		*table1 = true
 		*figure6 = true
 	}
@@ -69,6 +80,10 @@ func main() {
 
 	if *batch {
 		batchOptimize(lib, catalog, strings.Split(*designList, ","), opts, *slack, *fleetSpec)
+	}
+
+	if *spot {
+		spotCompare(lib, catalog, strings.Split(*designList, ","), opts, *slack, *fleetSpec, *hazardSeed, *hazardRate)
 	}
 
 	if *table1 {
@@ -310,6 +325,163 @@ func batchOptimize(lib *techlib.Library, catalog *cloud.Catalog, names []string,
 	} else {
 		fmt.Printf("\nCo-optimization pays $%.4f over the static baseline to recover %d deadline(s).\n\n",
 			sched.TotalCostUSD-static.TotalCostUSD, static.DeadlinesMissed-sched.DeadlinesMissed)
+	}
+}
+
+// spotCompare is the -spot mode: plan the named designs' batch three
+// ways — on-demand only, naively trusting spot prices, and with
+// revocation-risk-adjusted expected costs — and execute all three on
+// the same spot-priced fleet under identical seeded revocation
+// timelines. Deadlines are slack x each job's cheapest on-demand
+// serial plan, so the on-demand execution always meets them; the
+// interesting question is what the two spot strategies pay and miss.
+func spotCompare(lib *techlib.Library, catalog *cloud.Catalog, names []string, opts core.CharacterizeOptions, slack float64, fleetSpec string, seed int64, rate float64) {
+	spotCat, err := catalog.WithSpot(0.7)
+	if err != nil {
+		fail(err)
+	}
+	if fleetSpec == "" {
+		// Two machines per type: the on-demand strategy fits the batch
+		// without contention, so any miss it would show is purely the
+		// deadline sizing, not the fleet.
+		fleetSpec = "gp.2x=2,mem.2x=2,gp.2x.spot=2,mem.2x.spot=2"
+	}
+	fleet, err := cloud.ParseFleetSpec(spotCat, fleetSpec)
+	if err != nil {
+		fail(err)
+	}
+	// Planning sees an unarmed fleet — the naive strategy's whole
+	// mistake is trusting nominal spot prices. Executions run on armed
+	// clones sharing one seeded model, so all three strategies face
+	// identical per-instance revocation timelines.
+	hazards := cloud.UniformSpotHazards(spotCat, rate)
+	execFleet := func() *cloud.Fleet {
+		f := fleet.Clone()
+		f.Revocation = cloud.NewRevocationModel(seed, hazards)
+		return f
+	}
+	retry := flow.RetryPolicy{MaxAttempts: 200, BackoffSec: 15}
+
+	// Characterize each distinct design once; build both the on-demand
+	// deployment problem and its spot-extended twin.
+	chars := map[string]*core.DesignCharacterization{}
+	odProbs := map[string]*core.DeploymentProblem{}
+	spotProbs := map[string]*core.DeploymentProblem{}
+	var odSpecs, spotSpecs []core.BatchJobSpec
+	for i, name := range names {
+		name = strings.TrimSpace(name)
+		if chars[name] == nil {
+			char, err := core.CharacterizeEval(lib, name, opts)
+			if err != nil {
+				fail(err)
+			}
+			odProb, err := core.BuildDeploymentProblem(char, catalog)
+			if err != nil {
+				fail(err)
+			}
+			spotProb, err := core.BuildDeploymentProblem(char, spotCat)
+			if err != nil {
+				fail(err)
+			}
+			chars[name], odProbs[name], spotProbs[name] = char, odProb, spotProb
+		}
+		cheapest, err := odProbs[name].Optimize(odProbs[name].UnderProvision().TotalTime)
+		if err != nil {
+			fail(err)
+		}
+		deadline := int(slack * float64(cheapest.TotalTime))
+		jobName := fmt.Sprintf("%s#%d", name, i)
+		odSpecs = append(odSpecs, core.BatchJobSpec{
+			Name: jobName, Char: chars[name], Prob: odProbs[name], DeadlineSec: deadline,
+		})
+		spotSpecs = append(spotSpecs, core.BatchJobSpec{
+			Name: jobName, Char: chars[name], Prob: spotProbs[name], DeadlineSec: deadline,
+		})
+	}
+
+	type strategy struct {
+		name  string
+		specs []core.BatchJobSpec
+		opts  core.BatchOptions
+	}
+	strategies := []strategy{
+		{"on-demand only", odSpecs, core.BatchOptions{Retry: retry}},
+		{"naive spot", spotSpecs, core.BatchOptions{Retry: retry}},
+		{"risk-adjusted spot", spotSpecs, core.BatchOptions{Hazards: mckp.Hazards(hazards), Retry: retry}},
+	}
+
+	fmt.Printf("Preemptible fleet: %d jobs on %s (hazard %.0f/h per spot instance, seed %d, slack %.2fx)\n\n",
+		len(names), fleet, rate, seed, slack)
+
+	var scheds []*flow.Schedule
+	for _, s := range strategies {
+		bp, err := core.OptimizeBatchOpts(s.specs, fleet, s.opts)
+		if err != nil {
+			fail(err)
+		}
+		if !bp.Feasible {
+			fail(fmt.Errorf("%s: batch infeasible", s.name))
+		}
+		fmt.Printf("%s plans:\n", s.name)
+		for i, spec := range s.specs {
+			fmt.Printf("  %-12s deadline %5ds  %s\n", spec.Name, spec.DeadlineSec, picksString(bp.Plans[i]))
+		}
+		sched, err := core.ExecuteBatchPlan(lib, s.specs, bp, opts, execFleet(), false)
+		if err != nil {
+			fail(err)
+		}
+		// A job revoked past its attempt cap is a legitimate outcome of
+		// the naive gamble — reported, not fatal. Anything else is a bug.
+		for _, j := range sched.Jobs {
+			if j.Err != nil && !strings.Contains(j.Err.Error(), "revoked on attempt") {
+				fail(j.Err)
+			}
+		}
+		scheds = append(scheds, sched)
+		fmt.Println()
+	}
+
+	fmt.Printf("Executed under the same seeded revocation timelines:\n\n")
+	fmt.Printf("%-20s %10s %10s %12s %11s %8s %8s\n",
+		"strategy", "cost ($)", "makespan", "revocations", "lost work", "missed", "failed")
+	for i, s := range strategies {
+		sched := scheds[i]
+		fmt.Printf("%-20s %10.4f %9.0fs %12d %10.0fs %8d %8d\n",
+			s.name, sched.TotalCostUSD, sched.MakespanSec,
+			sched.Revocations, sched.RetriedSec, sched.DeadlinesMissed, sched.Failed)
+	}
+
+	naive, risk := scheds[1], scheds[2]
+	fmt.Printf("\n%-12s %9s | %9s %9s %6s | %9s %9s %6s\n",
+		"job", "deadline", "naive fin", "lost", "", "risk fin", "lost", "")
+	for i := range spotSpecs {
+		nj, rj := naive.Jobs[i], risk.Jobs[i]
+		status := func(j flow.JobResult) string {
+			switch {
+			case j.Err != nil:
+				return "FAILED"
+			case j.DeadlineMet:
+				return "met"
+			}
+			return "MISSED"
+		}
+		fmt.Printf("%-12s %8ds | %8.0fs %8.0fs %6s | %8.0fs %8.0fs %6s\n",
+			spotSpecs[i].Name, spotSpecs[i].DeadlineSec,
+			nj.FinishSec, nj.RetriedSec, status(nj),
+			rj.FinishSec, rj.RetriedSec, status(rj))
+	}
+
+	naiveBad := naive.DeadlinesMissed + naive.Failed
+	riskBad := risk.DeadlinesMissed + risk.Failed
+	switch {
+	case riskBad < naiveBad && risk.TotalCostUSD <= naive.TotalCostUSD:
+		fmt.Printf("\nRisk-adjusted planning recovers %d job(s) the naive spot gamble misses or loses and bills $%.4f less.\n\n",
+			naiveBad-riskBad, naive.TotalCostUSD-risk.TotalCostUSD)
+	case riskBad < naiveBad:
+		fmt.Printf("\nRisk-adjusted planning recovers %d job(s) the naive spot gamble misses or loses for $%.4f extra.\n\n",
+			naiveBad-riskBad, risk.TotalCostUSD-naive.TotalCostUSD)
+	default:
+		fmt.Printf("\nRisk-adjusted and naive spot planning tie on deadlines at this hazard rate.\n\n")
 	}
 }
 

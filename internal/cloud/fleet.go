@@ -26,6 +26,11 @@ type Lease struct {
 	// CostUSD is the bill for the interval under the instance type's
 	// per-second pricing and minimum billing granularity.
 	CostUSD float64
+	// Revoked marks a lease truncated by a spot revocation: the
+	// instance was reclaimed at RevokedAt (== EndSec), the work past it
+	// was lost, and the ledger bills only up to that point.
+	Revoked   bool
+	RevokedAt float64
 }
 
 // FleetInstance is one rentable machine of a fleet.
@@ -45,6 +50,11 @@ type FleetInstance struct {
 // Fleet is a bounded pool of rentable instances.
 type Fleet struct {
 	Instances []*FleetInstance
+	// Revocation, when non-nil, injects seeded spot revocations into
+	// Book and Extend: a lease overlapping a revocation event of its
+	// (revocable) instance is truncated there and billed only up to
+	// the event. nil — or a zero-hazard model — never truncates.
+	Revocation *RevocationModel
 }
 
 // FleetEntry sizes one slice of a fleet: Count instances of one type.
@@ -132,35 +142,65 @@ func (f *Fleet) Acquire(typeName string, readySec float64) (int, float64, error)
 
 // Book leases instance idx for [startSec, startSec+durSec), billing it
 // under the instance type's pricing, and returns the lease index. The
-// start must not precede the instance's free time.
+// start must not precede the instance's free time. Under a revocation
+// model, a revocation event inside the interval truncates the lease
+// there: the instance is reclaimed, the bill covers only the time up
+// to the event, and the replacement capacity is free again at the
+// event time (the provider refills the pool). Callers detect the cut
+// via the returned lease's Revoked flag.
 func (f *Fleet) Book(idx int, job, stage string, startSec, durSec float64) int {
 	inst := f.Instances[idx]
+	end := startSec + durSec
 	l := Lease{
 		Job: job, Stage: stage,
 		StartSec: startSec,
-		EndSec:   startSec + durSec,
-		CostUSD:  inst.Type.Cost(durSec),
+		EndSec:   end,
 	}
+	if rev, ok := f.nextRevocation(inst, startSec); ok && rev < end {
+		l.EndSec = rev
+		l.Revoked = true
+		l.RevokedAt = rev
+	}
+	l.CostUSD = inst.Type.Cost(l.EndSec - l.StartSec)
 	inst.Leases = append(inst.Leases, l)
 	inst.FreeAtSec = l.EndSec
-	inst.BusySec += durSec
+	inst.BusySec += l.EndSec - l.StartSec
 	inst.CostUSD = instanceCost(inst)
 	return len(inst.Leases) - 1
+}
+
+// nextRevocation asks the fleet's model (if any) for the instance's
+// first revocation strictly after afterSec.
+func (f *Fleet) nextRevocation(inst *FleetInstance, afterSec float64) (float64, bool) {
+	if f.Revocation == nil {
+		return 0, false
+	}
+	return f.Revocation.NextRevocation(inst, afterSec)
 }
 
 // Extend stretches instance idx's latest lease by durSec — a job
 // holding its machine across consecutive stages instead of releasing
 // it — appending the stage to the lease label and re-billing the whole
-// interval. It returns the marginal cost of the extension.
+// interval. It returns the marginal cost of the extension. Under a
+// revocation model the extension can be truncated just like a fresh
+// booking: the earlier part of the lease already survived (Book and
+// prior Extends checked their own intervals), so only an event inside
+// the new segment cuts it, marking the whole lease Revoked.
 func (f *Fleet) Extend(idx int, stage string, durSec float64) float64 {
 	inst := f.Instances[idx]
 	l := &inst.Leases[len(inst.Leases)-1]
 	before := l.CostUSD
+	prevEnd := l.EndSec
 	l.EndSec += durSec
 	l.Stage += "+" + stage
+	if rev, ok := f.nextRevocation(inst, prevEnd); ok && rev < l.EndSec {
+		l.EndSec = rev
+		l.Revoked = true
+		l.RevokedAt = rev
+	}
 	l.CostUSD = inst.Type.Cost(l.EndSec - l.StartSec)
 	inst.FreeAtSec = l.EndSec
-	inst.BusySec += durSec
+	inst.BusySec += l.EndSec - prevEnd
 	inst.CostUSD = instanceCost(inst)
 	return l.CostUSD - before
 }
@@ -281,13 +321,33 @@ func (f *Fleet) Profile() []FleetEntry {
 // Clone returns an unused copy of the fleet: the same instance
 // sequence — IDs, types, order, so every Acquire tie-break matches —
 // with fresh timelines and ledgers. A schedule forecast books leases
-// on a clone without dirtying the fleet the real run will use.
+// on a clone without dirtying the fleet the real run will use. The
+// revocation model is shared, not copied: its timelines are a pure
+// function of (seed, instance ID), so the clone sees exactly the
+// revocations the original will — the property that makes forecasts
+// under faults bit-exact.
 func (f *Fleet) Clone() *Fleet {
-	out := &Fleet{Instances: make([]*FleetInstance, len(f.Instances))}
+	out := &Fleet{
+		Instances:  make([]*FleetInstance, len(f.Instances)),
+		Revocation: f.Revocation,
+	}
 	for i, inst := range f.Instances {
 		out.Instances[i] = &FleetInstance{ID: inst.ID, Type: inst.Type}
 	}
 	return out
+}
+
+// TypeByName returns the instance type of the given name present in
+// the fleet — the lookup a retry policy uses to escalate a revoked
+// stage from a spot type to its on-demand counterpart, which only
+// works when the fleet actually holds such machines.
+func (f *Fleet) TypeByName(name string) (InstanceType, bool) {
+	for _, inst := range f.Instances {
+		if inst.Type.Name == name {
+			return inst.Type, true
+		}
+	}
+	return InstanceType{}, false
 }
 
 // Types lists the distinct instance type names present in the fleet,

@@ -54,6 +54,14 @@ type InstanceType struct {
 	// per-second billing carries a 60 s minimum). 0 means pure
 	// per-second billing with no floor.
 	MinBillSec float64
+	// Revocable marks spot/preemptible capacity: the provider may
+	// reclaim the instance mid-lease (see RevocationModel). On-demand
+	// types are never revoked.
+	Revocable bool
+	// OnDemand names the on-demand counterpart of a revocable type —
+	// the escalation target when a job gives up on spot capacity.
+	// Empty for on-demand types.
+	OnDemand string
 }
 
 // Cost returns the billed USD amount for occupying the instance for the
@@ -153,6 +161,32 @@ func (c *Catalog) WithMinBill(seconds float64) *Catalog {
 		out.Types[i].MinBillSec = seconds
 	}
 	return out
+}
+
+// WithSpot returns a copy of the catalog extended with a spot-priced
+// variant of every on-demand type: "<name>.spot", the same hardware at
+// the given fractional discount (0.7 means 70% off on-demand), marked
+// Revocable and pointing back at its OnDemand counterpart. Variants
+// are appended after the originals, so family/size lookups (Size,
+// Sizes first-match behavior) and every existing name keep resolving
+// to on-demand capacity; spot is only ever an explicit opt-in.
+func (c *Catalog) WithSpot(discount float64) (*Catalog, error) {
+	if discount <= 0 || discount >= 1 {
+		return nil, fmt.Errorf("cloud: spot discount %g outside (0,1)", discount)
+	}
+	out := &Catalog{Types: append([]InstanceType(nil), c.Types...)}
+	for _, it := range c.Types {
+		if it.Revocable {
+			continue // never derive spot-of-spot
+		}
+		spot := it
+		spot.Name = it.Name + ".spot"
+		spot.PricePerHour = it.PricePerHour * (1 - discount)
+		spot.Revocable = true
+		spot.OnDemand = it.Name
+		out.Types = append(out.Types, spot)
+	}
+	return out, nil
 }
 
 // Size returns the instance of the given family and vCPU count.

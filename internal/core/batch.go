@@ -34,11 +34,35 @@ type BatchJobSpec struct {
 	DeadlineSec int
 }
 
+// BatchOptions shapes a batch optimization for preemptible capacity
+// and placement policy. The zero value reproduces the fault-oblivious
+// behavior exactly.
+type BatchOptions struct {
+	// Hazards carries per-instance-type revocation rates (events/hour)
+	// into the selection: choice tables are risk-adjusted
+	// (mckp.RiskAdjust) before the DP and shadow-price loop run, so
+	// deadline-critical stages buy on-demand capacity while slack-rich
+	// stages ride the spot discount. Empty means no adjustment.
+	Hazards mckp.Hazards
+	// Retry is the revocation retry policy jobs execute (and forecast)
+	// under; its BackoffSec also feeds the risk adjustment.
+	Retry flow.RetryPolicy
+	// Hold plans and executes every job under the holding policy: one
+	// machine leased across all stages (flow.SingleInstance). Choice
+	// tables must then share labels across stages — build them with
+	// BuildHoldDeploymentProblem.
+	Hold bool
+}
+
 // BatchPlan is a co-optimized batch deployment: one executable Plan
 // per job plus the contention-aware schedule forecast the plans imply
 // on the shared fleet.
 type BatchPlan struct {
 	Feasible bool
+	// Options echoes the BatchOptions the plan was solved under;
+	// ExecuteBatchPlan replays them (retry policy, holding policy) so
+	// the forecast and the execution see the same discipline.
+	Options BatchOptions
 	// Plans holds each job's stage-to-instance selection, aligned with
 	// the input specs. Problems holds the fleet-restricted deployment
 	// problems the selection was solved over (the choice tables the
@@ -111,11 +135,15 @@ func batchCapacity(fleet *cloud.Fleet) mckp.Capacity {
 }
 
 // forecastFor replays the plans on a clone of the fleet and returns
-// the predicted schedule.
-func forecastFor(specs []BatchJobSpec, plans []*Plan, fleet *cloud.Fleet) (*flow.Schedule, error) {
+// the predicted schedule. The clone shares the fleet's revocation
+// model (timelines are pure functions of seed and instance ID), and
+// the options' retry/holding policy ride along, so the prediction
+// reacts to revocations exactly as the execution will.
+func forecastFor(specs []BatchJobSpec, plans []*Plan, fleet *cloud.Fleet, opts BatchOptions) (*flow.Schedule, error) {
 	fjobs := make([]flow.ForecastJob, len(specs))
 	for i, spec := range specs {
-		fj := flow.ForecastJob{Name: spec.Name, DeadlineSec: float64(spec.DeadlineSec)}
+		fj := flow.ForecastJob{Name: spec.Name, DeadlineSec: float64(spec.DeadlineSec),
+			Retry: opts.Retry, Hold: opts.Hold}
 		for _, pick := range plans[i].Picks {
 			fj.Stages = append(fj.Stages, flow.ForecastStage{
 				Kind:    pick.Job,
@@ -160,6 +188,17 @@ func validateBatchSpecs(specs []BatchJobSpec, fleet *cloud.Fleet) error {
 // bound), and the resulting plans forecast exactly on a clone of the
 // fleet. The fleet itself is not mutated.
 func OptimizeBatch(specs []BatchJobSpec, fleet *cloud.Fleet) (*BatchPlan, error) {
+	return OptimizeBatchOpts(specs, fleet, BatchOptions{})
+}
+
+// OptimizeBatchOpts is OptimizeBatch with explicit BatchOptions: the
+// joint selection solves over risk-adjusted choice tables when hazards
+// are given (spot items priced at their expected truncated-attempt
+// cost and wall clock), under the holding policy's one-label-per-job
+// constraint when Hold is set, and the forecast replays the options'
+// retry/holding discipline on the fleet clone. TotalCost is then the
+// expected bill under revocations, not the nominal one.
+func OptimizeBatchOpts(specs []BatchJobSpec, fleet *cloud.Fleet, opts BatchOptions) (*BatchPlan, error) {
 	if err := validateBatchSpecs(specs, fleet); err != nil {
 		return nil, err
 	}
@@ -172,22 +211,26 @@ func OptimizeBatch(specs []BatchJobSpec, fleet *cloud.Fleet) (*BatchPlan, error)
 			return nil, err
 		}
 		probs[i] = restricted
-		jobs[i] = mckp.BatchJob{Name: spec.Name, Classes: restricted.Classes, DeadlineSec: spec.DeadlineSec}
+		classes := restricted.Classes
+		if len(opts.Hazards) > 0 {
+			classes = mckp.RiskAdjust(classes, opts.Hazards, opts.Retry.BackoffSec)
+		}
+		jobs[i] = mckp.BatchJob{Name: spec.Name, Classes: classes, DeadlineSec: spec.DeadlineSec, Hold: opts.Hold}
 	}
 	sel, err := mckp.BatchOptimize(jobs, capacity)
 	if err != nil {
 		return nil, err
 	}
 	if !sel.Feasible {
-		return &BatchPlan{Feasible: false, Problems: probs, Selection: sel}, nil
+		return &BatchPlan{Feasible: false, Options: opts, Problems: probs, Selection: sel}, nil
 	}
-	bp := &BatchPlan{Feasible: true, Problems: probs, Selection: sel}
+	bp := &BatchPlan{Feasible: true, Options: opts, Problems: probs, Selection: sel}
 	for i := range specs {
 		plan := planFromSelection(probs[i], sel.Jobs[i])
 		bp.Plans = append(bp.Plans, plan)
-		bp.TotalCost += plan.TotalCost
+		bp.TotalCost += sel.Jobs[i].TotalCost
 	}
-	if bp.Forecast, err = forecastFor(specs, bp.Plans, fleet); err != nil {
+	if bp.Forecast, err = forecastFor(specs, bp.Plans, fleet, opts); err != nil {
 		return nil, err
 	}
 	return bp, nil
@@ -200,11 +243,21 @@ func OptimizeBatch(specs []BatchJobSpec, fleet *cloud.Fleet) (*BatchPlan, error)
 // predicted waits and deadline misses are what co-optimization
 // removes; its cost lower-bounds any per-job-deadline-feasible batch.
 func IndependentBatchPlan(specs []BatchJobSpec, fleet *cloud.Fleet) (*BatchPlan, error) {
+	return IndependentBatchPlanOpts(specs, fleet, BatchOptions{})
+}
+
+// IndependentBatchPlanOpts is IndependentBatchPlan with explicit
+// BatchOptions. Note the independent baseline solves each job over the
+// NOMINAL choice tables even when hazards are given — it is exactly
+// the naive planner that believes spot discounts are free — so pairing
+// it against OptimizeBatchOpts with the same hazards isolates what the
+// risk adjustment buys.
+func IndependentBatchPlanOpts(specs []BatchJobSpec, fleet *cloud.Fleet, opts BatchOptions) (*BatchPlan, error) {
 	if err := validateBatchSpecs(specs, fleet); err != nil {
 		return nil, err
 	}
 	capacity := batchCapacity(fleet)
-	bp := &BatchPlan{Feasible: true}
+	bp := &BatchPlan{Feasible: true, Options: opts}
 	for _, spec := range specs {
 		restricted, err := restrictProblem(spec.Prob, capacity)
 		if err != nil {
@@ -212,10 +265,18 @@ func IndependentBatchPlan(specs []BatchJobSpec, fleet *cloud.Fleet) (*BatchPlan,
 		}
 		bp.Problems = append(bp.Problems, restricted)
 		deadline := spec.DeadlineSec
-		if deadline <= 0 {
-			deadline = restricted.UnderProvision().TotalTime
+		var plan *Plan
+		if opts.Hold {
+			// SolveHold treats 0 as deadline-free; the under-provision sum
+			// (smallest item per stage, labels mixed) can undercut every
+			// single-label total and would wrongly starve hold jobs.
+			plan, err = restricted.OptimizeHold(deadline)
+		} else {
+			if deadline <= 0 {
+				deadline = restricted.UnderProvision().TotalTime
+			}
+			plan, err = restricted.Optimize(deadline)
 		}
-		plan, err := restricted.Optimize(deadline)
 		if err != nil {
 			return nil, err
 		}
@@ -231,7 +292,7 @@ func IndependentBatchPlan(specs []BatchJobSpec, fleet *cloud.Fleet) (*BatchPlan,
 		return bp, nil
 	}
 	var err error
-	if bp.Forecast, err = forecastFor(specs, bp.Plans, fleet); err != nil {
+	if bp.Forecast, err = forecastFor(specs, bp.Plans, fleet, opts); err != nil {
 		return nil, err
 	}
 	return bp, nil
@@ -256,6 +317,9 @@ func ExecuteBatchPlan(lib *techlib.Library, specs []BatchJobSpec, bp *BatchPlan,
 	if len(bp.Plans) != len(specs) {
 		return nil, fmt.Errorf("core: batch plan holds %d jobs, specs are %d", len(bp.Plans), len(specs))
 	}
+	if bp.Options.Hold && adaptive {
+		return nil, fmt.Errorf("core: holding-policy batch plan cannot execute adaptively")
+	}
 	opts = opts.withDefaults()
 	jobs := make([]flow.Job, len(specs))
 	for i, spec := range specs {
@@ -275,13 +339,22 @@ func ExecuteBatchPlan(lib *techlib.Library, specs []BatchJobSpec, bp *BatchPlan,
 			Plan:        sp,
 			DeadlineSec: float64(spec.DeadlineSec),
 			WorkScale:   spec.Char.WorkScale,
+			Retry:       bp.Options.Retry,
+		}
+		if bp.Options.Hold {
+			// The holding policy runs every stage on the job's one machine
+			// — the plan's label-uniform pick.
+			jobs[i].Instance = bp.Plans[i].Picks[0].Instance
 		}
 		if adaptive {
 			jobs[i].Choices = bp.Problems[i].StageChoices()
 		}
 	}
 	policy := flow.Policy(flow.PlanPolicy{})
-	if adaptive {
+	switch {
+	case bp.Options.Hold:
+		policy = flow.SingleInstance{}
+	case adaptive:
 		policy = flow.AdaptivePolicy{}
 	}
 	sched := &flow.Scheduler{Workers: opts.Workers, Fleet: fleet, Policy: policy}

@@ -57,11 +57,94 @@ func BuildDeploymentProblem(char *DesignCharacterization, catalog *cloud.Catalog
 				TimeSec: int(math.Ceil(secs)),
 				Cost:    cost,
 			})
+			// Catalogs extended with spot pricing (Catalog.WithSpot) expose
+			// a discounted revocable twin per type; it shares the hardware,
+			// so the stage's runtime carries over and only the bill drops.
+			// Plain catalogs have no ".spot" names and are unaffected.
+			if spot, err := catalog.ByName(it.Name + ".spot"); err == nil {
+				spotCost := spot.Cost(secs)
+				choices = append(choices, StageChoice{Job: k, Instance: spot, Seconds: secs, Cost: spotCost})
+				cl.Items = append(cl.Items, mckp.Item{
+					Label:   spot.Name,
+					TimeSec: int(math.Ceil(secs)),
+					Cost:    spotCost,
+				})
+			}
 		}
 		prob.Stages = append(prob.Stages, choices)
 		prob.Classes = append(prob.Classes, cl)
 	}
 	return prob, nil
+}
+
+// BuildHoldDeploymentProblem builds the single-machine variant of the
+// deployment problem: every stage's candidates are every catalog type
+// whose size the characterization profiled — not just the stage's
+// recommended family — so every label appears in every class and the
+// holding policy (one lease across all stages) has machines to choose
+// from. Runtimes are re-derived per type from the profiled counts, as
+// in BuildDeploymentProblem.
+func BuildHoldDeploymentProblem(char *DesignCharacterization, catalog *cloud.Catalog) (*DeploymentProblem, error) {
+	prob := &DeploymentProblem{Design: char.Design}
+	for _, k := range JobKinds() {
+		var choices []StageChoice
+		cl := mckp.Class{Name: k.String()}
+		for _, it := range catalog.Types {
+			vi := -1
+			for i, v := range char.VCPUs {
+				if v == it.VCPUs {
+					vi = i
+					break
+				}
+			}
+			if vi < 0 {
+				continue // size not characterized
+			}
+			prof := char.Profiles[vi][int(k)]
+			m := machineFor(it.VCPUs, it.AVX, 0, char.WorkScale)
+			secs := m.Seconds(prof.Report)
+			cost := it.Cost(secs)
+			choices = append(choices, StageChoice{Job: k, Instance: it, Seconds: secs, Cost: cost})
+			cl.Items = append(cl.Items, mckp.Item{
+				Label:   it.Name,
+				TimeSec: int(math.Ceil(secs)),
+				Cost:    cost,
+			})
+		}
+		if len(choices) == 0 {
+			return nil, fmt.Errorf("core: catalog has no type at a characterized size for stage %s of %s",
+				k, char.Design)
+		}
+		prob.Stages = append(prob.Stages, choices)
+		prob.Classes = append(prob.Classes, cl)
+	}
+	return prob, nil
+}
+
+// RiskAdjusted returns a copy of the problem whose knapsack classes are
+// rewritten to their revocation-adjusted expectation (mckp.RiskAdjust):
+// spot items price in their expected truncated attempts and retry
+// backoffs. Stages keep the nominal per-attempt runtimes — those are
+// what one uninterrupted execution attempt takes, and what forecasts
+// and executions replay — so only the selection arithmetic changes.
+// Zero hazards return classes bit-identical to the input's.
+func (prob *DeploymentProblem) RiskAdjusted(hz mckp.Hazards, backoffSec float64) *DeploymentProblem {
+	return &DeploymentProblem{
+		Design:  prob.Design,
+		Stages:  prob.Stages,
+		Classes: mckp.RiskAdjust(prob.Classes, hz, backoffSec),
+	}
+}
+
+// OptimizeHold picks the cost-minimal single machine able to run every
+// stage back-to-back under the deadline — the holding-policy
+// counterpart of Optimize.
+func (prob *DeploymentProblem) OptimizeHold(deadlineSec int) (*Plan, error) {
+	sel, err := mckp.SolveHold(prob.Classes, deadlineSec)
+	if err != nil {
+		return nil, err
+	}
+	return planFromSelection(prob, sel), nil
 }
 
 // Plan is an optimized deployment: one instance per stage.

@@ -18,13 +18,25 @@ import (
 // the schedule is bit-identical at any worker count.
 
 // conformanceCase is one policy under test: how to build its jobs and
-// the fleet they contend for.
+// the fleet they contend for. Spot cases additionally seed a
+// deterministic revocation model and a retry policy, and run the
+// checkpoint/escalation invariants on top of the shared ones.
 type conformanceCase struct {
 	name      string
 	policy    Policy
 	fleetSpec string
 	minBill   float64
-	jobs      func(t *testing.T) []Job
+	// spot builds the fleet on a spot-discounted catalog and arms the
+	// seeded revocation injector at hazardRate revocations per
+	// instance-hour.
+	spot       bool
+	hazardSeed int64
+	hazardRate float64
+	retry      RetryPolicy
+	// wantEscalation requires at least one stage to escalate from a
+	// revoked spot type to its on-demand counterpart.
+	wantEscalation bool
+	jobs           func(t *testing.T) []Job
 }
 
 // conformancePlan builds the shared stage plan and choice table the
@@ -85,6 +97,17 @@ func conformanceCases() []conformanceCase {
 		}
 		return jobs
 	}
+	spotSingleJobs := func(t *testing.T) []Job {
+		jobs := fleetJobs(t, 4)
+		inst, err := spotTestCatalog(t).ByName("mem.4x.spot")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range jobs {
+			jobs[i].Instance = inst
+		}
+		return jobs
+	}
 	return []conformanceCase{
 		{name: "single-instance", policy: SingleInstance{}, fleetSpec: "mem.4x=2", jobs: singleJobs},
 		{name: "single-instance-minbill", policy: SingleInstance{}, fleetSpec: "mem.4x=2", minBill: 60, jobs: singleJobs},
@@ -95,6 +118,27 @@ func conformanceCases() []conformanceCase {
 		// A tight deadline forces the adaptive policy off-plan, so the
 		// invariants cover its upgrade path, not just plan replay.
 		{name: "adaptive", policy: AdaptivePolicy{}, fleetSpec: "gp.1x=1,gp.8x=1,mem.1x=1,mem.8x=1", jobs: planJobs(120)},
+		// Spot cases: the same invariants must survive seeded
+		// revocations, plus the checkpoint-recovery and escalation ones.
+		{name: "spot-first-fit", policy: FirstFit{}, spot: true,
+			fleetSpec: "gp.4x.spot=1,mem.4x.spot=1,cpu.2x.spot=1",
+			hazardSeed: 7, hazardRate: 30,
+			retry: RetryPolicy{MaxAttempts: 200, BackoffSec: 20},
+			jobs:  func(t *testing.T) []Job { return fleetJobs(t, 5) }},
+		{name: "spot-single-instance", policy: SingleInstance{}, spot: true,
+			fleetSpec:  "mem.4x.spot=2",
+			hazardSeed: 11, hazardRate: 30,
+			retry: RetryPolicy{MaxAttempts: 200, BackoffSec: 20},
+			jobs:  spotSingleJobs},
+		// Escalation is type-driven (the request's spot type names its
+		// on-demand counterpart), so it needs a typed policy: jobs pinned
+		// to mem.4x.spot with one mem.4x machine to escalate onto.
+		{name: "spot-escalation", policy: SingleInstance{}, spot: true,
+			fleetSpec:  "mem.4x.spot=2,mem.4x=1",
+			hazardSeed: 11, hazardRate: 60,
+			retry:          RetryPolicy{MaxAttempts: 10, BackoffSec: 10, EscalateAfter: 1},
+			wantEscalation: true,
+			jobs:           spotSingleJobs},
 	}
 }
 
@@ -104,6 +148,9 @@ func TestPolicyConformance(t *testing.T) {
 	for _, tc := range conformanceCases() {
 		t.Run(tc.name, func(t *testing.T) {
 			catalog := cloud.DefaultCatalog()
+			if tc.spot {
+				catalog = spotTestCatalog(t)
+			}
 			if tc.minBill > 0 {
 				catalog = catalog.WithMinBill(tc.minBill)
 			}
@@ -111,7 +158,16 @@ func TestPolicyConformance(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			if tc.hazardRate > 0 {
+				fleet.Revocation = cloud.NewRevocationModel(tc.hazardSeed,
+					cloud.UniformSpotHazards(catalog, tc.hazardRate))
+			}
 			jobs := tc.jobs(t)
+			if tc.retry != (RetryPolicy{}) {
+				for i := range jobs {
+					jobs[i].Retry = tc.retry
+				}
+			}
 
 			run := func(workers int) *Schedule {
 				f := fleet.Clone()
@@ -132,8 +188,116 @@ func TestPolicyConformance(t *testing.T) {
 			checkFIFOReadyOrder(t, want, tc.policy)
 			checkLedgerConsistency(t, want)
 			checkIdenticalSchedules(t, want, run)
+			if tc.hazardRate > 0 {
+				if want.Revocations == 0 {
+					t.Fatal("spot case produced no revocations; raise its hazard rate")
+				}
+				checkCheckpointRecovery(t, want)
+				escalations := checkEscalationBounds(t, want, tc.retry)
+				if tc.wantEscalation && escalations == 0 {
+					t.Fatal("escalation case never escalated to on-demand; raise its hazard rate")
+				}
+			}
 		})
 	}
+}
+
+// checkCheckpointRecovery: revocations lose only the work since the
+// last stage boundary. Per job and kind, every attempt but the last is
+// a truncated revocation ending exactly at its RevokedAt, the last
+// attempt completes, no attempt re-runs work from before the previous
+// kind's completed checkpoint, and the job's lost-work ledger equals
+// the revoked attempts' survived time — nothing more.
+func checkCheckpointRecovery(t *testing.T, sched *Schedule) {
+	t.Helper()
+	for _, j := range sched.Jobs {
+		byKind := map[string][]StageResult{}
+		var order []string
+		var lost float64
+		for _, st := range j.Stages {
+			k := st.Kind.String()
+			if _, ok := byKind[k]; !ok {
+				order = append(order, k)
+			}
+			byKind[k] = append(byKind[k], st)
+			if st.Revoked {
+				lost += st.Seconds
+			}
+		}
+		var prevFinish float64
+		for _, k := range order {
+			atts := byKind[k]
+			for i, st := range atts {
+				if st.StartSec < prevFinish-1e-9 {
+					t.Fatalf("job %s %s attempt %d starts at %g before prior checkpoint %g: redoes finished work",
+						j.Name, k, st.Attempt, st.StartSec, prevFinish)
+				}
+				if i < len(atts)-1 {
+					if !st.Revoked {
+						t.Fatalf("job %s %s attempt %d completed yet the kind ran again", j.Name, k, st.Attempt)
+					}
+					if math.Abs(st.RevokedAt-(st.StartSec+st.Seconds)) > 1e-9 {
+						t.Fatalf("job %s %s attempt %d: survived %g s but revoked at %g (start %g)",
+							j.Name, k, st.Attempt, st.Seconds, st.RevokedAt, st.StartSec)
+					}
+				} else if st.Revoked {
+					t.Fatalf("job %s %s never completed: %+v", j.Name, k, st)
+				}
+			}
+			last := atts[len(atts)-1]
+			prevFinish = last.StartSec + last.Seconds
+		}
+		if math.Abs(lost-j.RetriedSec) > 1e-9 {
+			t.Fatalf("job %s lost-work ledger %g, revoked attempts survived %g", j.Name, j.RetriedSec, lost)
+		}
+	}
+}
+
+// checkEscalationBounds: attempt numbers stay within the retry
+// policy's cap, on-demand attempts are never revoked, and a stage that
+// moved off its spot type did so only after EscalateAfter revocations
+// and only onto that spot type's declared on-demand counterpart.
+// Returns how many attempts ran escalated.
+func checkEscalationBounds(t *testing.T, sched *Schedule, retry RetryPolicy) int {
+	t.Helper()
+	maxAttempts := retry.withDefaults().MaxAttempts
+	escalations := 0
+	for _, j := range sched.Jobs {
+		first := map[string]cloud.InstanceType{}
+		revs := map[string]int{}
+		for _, st := range j.Stages {
+			k := st.Kind.String()
+			if st.Attempt < 1 || st.Attempt > maxAttempts {
+				t.Fatalf("job %s %s attempt %d outside 1..%d", j.Name, k, st.Attempt, maxAttempts)
+			}
+			if _, ok := first[k]; !ok {
+				first[k] = st.Type
+			}
+			if !st.Type.Revocable {
+				if st.Revoked {
+					t.Fatalf("job %s %s: on-demand attempt revoked: %+v", j.Name, k, st)
+				}
+				if first[k].Revocable {
+					if retry.EscalateAfter <= 0 {
+						t.Fatalf("job %s %s escalated off spot with escalation disabled", j.Name, k)
+					}
+					if revs[k] < retry.EscalateAfter {
+						t.Fatalf("job %s %s escalated after %d revocations, policy requires %d",
+							j.Name, k, revs[k], retry.EscalateAfter)
+					}
+					if st.Type.Name != first[k].OnDemand {
+						t.Fatalf("job %s %s escalated to %q, not the counterpart %q",
+							j.Name, k, st.Type.Name, first[k].OnDemand)
+					}
+					escalations++
+				}
+			}
+			if st.Revoked {
+				revs[k]++
+			}
+		}
+	}
+	return escalations
 }
 
 // checkNoLeaseOverlap: no fleet instance ever runs two leases at once,
@@ -250,13 +414,17 @@ func checkIdenticalSchedules(t *testing.T, want *Schedule, run func(int) *Schedu
 			got.MakespanSec != want.MakespanSec ||
 			got.TotalWaitSec != want.TotalWaitSec ||
 			got.UtilizationPct != want.UtilizationPct ||
-			got.DeadlinesMissed != want.DeadlinesMissed {
+			got.DeadlinesMissed != want.DeadlinesMissed ||
+			got.Revocations != want.Revocations ||
+			got.RetriedSec != want.RetriedSec {
 			t.Fatalf("workers=%d: aggregates differ", w)
 		}
 		for i := range want.Jobs {
 			g, s := got.Jobs[i], want.Jobs[i]
 			if g.Seconds != s.Seconds || g.CostUSD != s.CostUSD ||
-				g.StartSec != s.StartSec || g.FinishSec != s.FinishSec || g.WaitSec != s.WaitSec {
+				g.StartSec != s.StartSec || g.FinishSec != s.FinishSec || g.WaitSec != s.WaitSec ||
+				g.Revocations != s.Revocations || g.RetriedSec != s.RetriedSec ||
+				g.RecoveredFromCheckpoint != s.RecoveredFromCheckpoint {
 				t.Fatalf("workers=%d: job %d differs: %+v vs %+v", w, i, g, s)
 			}
 			if !reflect.DeepEqual(g.Stages, s.Stages) {

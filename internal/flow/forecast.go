@@ -30,6 +30,14 @@ type ForecastJob struct {
 	Name        string
 	DeadlineSec float64
 	Stages      []ForecastStage
+	// Retry carries the job's revocation retry policy into the replay,
+	// so a forecast on a revocation-modeled fleet reacts to truncated
+	// leases exactly as the execution will.
+	Retry RetryPolicy
+	// Hold keeps the job on one machine across all its stages (every
+	// stage must then request the same type) — the forecast form of a
+	// SingleInstance execution, one lease extended stage by stage.
+	Hold bool
 }
 
 // Forecast replays the fleet scheduler's stage-level placement
@@ -43,13 +51,18 @@ func Forecast(fleet *cloud.Fleet, jobs []ForecastJob) (*Schedule, error) {
 	fjobs := make([]Job, len(jobs))
 	prepared := make([]*preparedJob, len(jobs))
 	for i, fj := range jobs {
-		fjobs[i] = Job{Name: fj.Name, DeadlineSec: fj.DeadlineSec}
+		fjobs[i] = Job{Name: fj.Name, DeadlineSec: fj.DeadlineSec, Retry: fj.Retry}
 		p := &preparedJob{
 			res:      JobResult{Name: fj.Name},
 			requests: map[JobKind]cloud.InstanceType{},
 			seconds:  map[JobKind]float64{},
+			hold:     fj.Hold,
 		}
 		for _, st := range fj.Stages {
+			if fj.Hold && st.Type.Name != fj.Stages[0].Type.Name {
+				return nil, fmt.Errorf("flow: forecast job %q holds one machine but stage %s requests %s after %s",
+					fj.Name, st.Kind, st.Type.Name, fj.Stages[0].Type.Name)
+			}
 			if st.Type.Name == "" {
 				return nil, fmt.Errorf("flow: forecast job %q stage %s requests no instance type", fj.Name, st.Kind)
 			}

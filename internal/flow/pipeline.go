@@ -48,6 +48,7 @@ type config struct {
 	stageWorkers    map[JobKind]int
 	newProbe        func(JobKind) *perf.Probe
 	events          func(Event)
+	checkpoints     func(*Checkpoint)
 	stages          []Stage
 	substitutes     []Stage
 }
@@ -117,6 +118,14 @@ func WithNewProbe(fn func(JobKind) *perf.Probe) Option {
 // WithEvents streams progress events to fn as the pipeline runs.
 func WithEvents(fn func(Event)) Option {
 	return func(c *config) { c.events = fn }
+}
+
+// WithCheckpoints hands fn a content-hash-stamped Checkpoint after
+// every successful stage — the hook a spot-resilient runner uses to
+// bound lost work to one stage. Like events, checkpoints are delivered
+// synchronously on the goroutine running the pipeline.
+func WithCheckpoints(fn func(*Checkpoint)) Option {
+	return func(c *config) { c.checkpoints = fn }
 }
 
 // WithStages replaces the default four-stage flow with an explicit
@@ -215,6 +224,9 @@ func (p *Pipeline) RunOn(rc *RunContext) error {
 		p.emit(Event{Type: StageFinished, Stage: s.Name(), Kind: s.Kind(), Index: i, Total: total, Err: err})
 		if err != nil {
 			return fmt.Errorf("flow: %s: %w", s.Name(), err)
+		}
+		if p.cfg.checkpoints != nil {
+			p.cfg.checkpoints(rc.Checkpoint())
 		}
 	}
 	return nil

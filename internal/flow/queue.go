@@ -1,6 +1,8 @@
 package flow
 
 import (
+	"fmt"
+
 	"edacloud/internal/cloud"
 )
 
@@ -8,8 +10,15 @@ import (
 // event-driven simulation in which jobs queue for fleet instances and
 // stages — not whole jobs — are the unit of placement. It runs
 // serially after the parallel pipeline phase; every decision is a pure
-// function of (fleet state, job order, stage runtimes), so the
-// resulting schedule is bit-identical at any real worker count.
+// function of (fleet state, job order, stage runtimes, revocation
+// timelines), so the resulting schedule is bit-identical at any real
+// worker count.
+//
+// Spot revocations enter here as a third placement outcome: a booked
+// stage whose lease the fleet truncated loses only the work since its
+// last stage boundary (its checkpoint), re-enters the FIFO queue at
+// RevokedAt+backoff, and re-runs under the job's RetryPolicy —
+// possibly escalated to the spot type's on-demand counterpart.
 
 // runner tracks one job's progress through the simulation.
 type runner struct {
@@ -20,18 +29,43 @@ type runner struct {
 	// ready is the simulated time the next stage may start.
 	ready float64
 	// held is the fleet instance a non-re-instancing job keeps across
-	// stages; -1 before the first acquisition.
+	// stages; -1 before the first acquisition (and after a revocation,
+	// which takes the machine away).
 	held int
 	// pinned forces the first acquisition onto one instance (the
 	// dedicated compatibility fleet); -1 means queue normally.
 	pinned int
+	// reinstance is the job's placement mode: true releases the machine
+	// between stages. It is the policy's ReInstance unless the job
+	// explicitly holds one machine (ForecastJob.Hold).
+	reinstance bool
 	// leases collects (instance, lease) refs for exact final billing.
 	leases [][2]int
+	// attempts and revs count per-stage-index runs and revocations —
+	// the retry policy's attempt cap and escalation trigger.
+	attempts []int
+	revs     []int
+	// doneSec remembers each completed stage's runtime so a
+	// from-scratch restart can account the work it throws away.
+	doneSec []float64
 
 	started  bool
 	startSec float64
 	waitSec  float64
 }
+
+// placement is the outcome of one placeNext call.
+type placement int
+
+const (
+	// stagePlaced: the stage ran to completion; r.stage advanced.
+	stagePlaced placement = iota
+	// stageRevoked: the stage was cut by a revocation; the runner is
+	// re-queued at its backoff-adjusted ready time, stage unchanged.
+	stageRevoked
+	// stageFailed: the job failed (acquisition error or attempt cap).
+	stageFailed
+)
 
 // simulate places every prepared job's stages onto the fleet and fills
 // in the placement fields of each preparedJob's result.
@@ -45,7 +79,14 @@ func simulate(fleet *cloud.Fleet, policy Policy, jobs []Job, prepared []*prepare
 			finalize(&prepared[i].res, &jobs[i], fleet, nil)
 			continue
 		}
-		r := &runner{p: prepared[i], job: &jobs[i], held: -1, pinned: -1}
+		n := len(prepared[i].kinds)
+		r := &runner{
+			p: prepared[i], job: &jobs[i], held: -1, pinned: -1,
+			reinstance: policy.ReInstance() && !prepared[i].hold,
+			attempts:   make([]int, n),
+			revs:       make([]int, n),
+			doneSec:    make([]float64, n),
+		}
 		if pinned {
 			r.pinned = i
 		}
@@ -63,27 +104,41 @@ func simulate(fleet *cloud.Fleet, policy Policy, jobs []Job, prepared []*prepare
 			}
 		}
 		r := queue[best]
-		ok := placeNext(fleet, policy, r)
+		out := placeNext(fleet, policy, r)
 		// A job holding its machine runs its whole flow back to back:
 		// nothing can use the held instance in between, so placing the
 		// remaining stages now keeps the fleet timeline conflict-free.
-		for ok && !policy.ReInstance() && r.stage < len(r.p.kinds) {
-			ok = placeNext(fleet, policy, r)
+		// A revocation breaks the streak — the machine is gone and the
+		// job re-queues FIFO like everyone else.
+		for out == stagePlaced && !r.reinstance && r.stage < len(r.p.kinds) {
+			out = placeNext(fleet, policy, r)
 		}
-		if !ok || r.stage == len(r.p.kinds) {
+		if out == stageFailed || r.stage == len(r.p.kinds) {
 			finalize(&r.p.res, r.job, fleet, r)
 			queue = append(queue[:best], queue[best+1:]...)
 		}
 	}
 }
 
-// placeNext places runner r's next stage on the fleet, reporting false
-// on an acquisition error (recorded in the job result). A held
-// instance (non-re-instancing policy) extends its existing lease; a
-// re-instancing job queues afresh for every stage.
-func placeNext(fleet *cloud.Fleet, policy Policy, r *runner) bool {
+// placeNext places runner r's next stage on the fleet. A held instance
+// (non-re-instancing policy) extends its existing lease; a
+// re-instancing job queues afresh for every stage. A lease the fleet
+// truncated at a revocation produces stageRevoked: the attempt's
+// survived time is recorded as lost work and the stage re-enters the
+// queue under the job's RetryPolicy.
+func placeNext(fleet *cloud.Fleet, policy Policy, r *runner) placement {
 	k := r.p.kinds[r.stage]
 	req := r.p.requests[k]
+	retry := r.job.Retry.withDefaults()
+
+	// Escalation: after enough revocations of this stage, request the
+	// spot type's on-demand counterpart — if the fleet has one.
+	if retry.EscalateAfter > 0 && r.revs[r.stage] >= retry.EscalateAfter &&
+		req.Revocable && req.OnDemand != "" {
+		if od, ok := fleet.TypeByName(req.OnDemand); ok {
+			req = od
+		}
+	}
 
 	var instIdx int
 	var start float64
@@ -104,20 +159,23 @@ func placeNext(fleet *cloud.Fleet, policy Policy, r *runner) bool {
 		instIdx, start, err = fleet.Acquire(req.Name, r.ready)
 		if err != nil {
 			r.p.res.Err = err
-			return false
+			return stageFailed
 		}
 	}
 	inst := fleet.Instances[instIdx]
 
 	dur := r.p.stageSeconds(r.job, k, inst.Type)
+	r.attempts[r.stage]++
 	var cost float64
+	var li int
 	if r.held >= 0 {
 		cost = fleet.Extend(instIdx, k.String(), dur)
+		li = len(inst.Leases) - 1
 	} else {
-		li := fleet.Book(instIdx, r.job.Name, k.String(), start, dur)
+		li = fleet.Book(instIdx, r.job.Name, k.String(), start, dur)
 		r.leases = append(r.leases, [2]int{instIdx, li})
 		cost = fleet.Lease(instIdx, li).CostUSD
-		if !policy.ReInstance() {
+		if !r.reinstance {
 			r.held = instIdx
 		}
 	}
@@ -127,6 +185,11 @@ func placeNext(fleet *cloud.Fleet, policy Policy, r *runner) bool {
 		r.startSec = start
 	}
 	res := &r.p.res
+	lease := fleet.Lease(instIdx, li)
+	if lease.Revoked {
+		return revokeStage(res, r, retry, inst, k, start, cost, lease.RevokedAt)
+	}
+
 	res.Stages = append(res.Stages, StageResult{
 		Kind:     k,
 		Instance: inst.ID,
@@ -135,12 +198,61 @@ func placeNext(fleet *cloud.Fleet, policy Policy, r *runner) bool {
 		WaitSec:  start - r.ready,
 		Seconds:  dur,
 		CostUSD:  cost,
+		Attempt:  r.attempts[r.stage],
 	})
 	res.Seconds += dur
 	r.waitSec += start - r.ready
+	r.doneSec[r.stage] = dur
 	r.ready = start + dur
 	r.stage++
-	return true
+	return stagePlaced
+}
+
+// revokeStage records a truncated attempt and re-queues (or fails) the
+// runner. The survived interval [start, revokedAt) is real billed busy
+// time that must be redone, so it counts into both the job's busy
+// Seconds and its lost-work RetriedSec.
+func revokeStage(res *JobResult, r *runner, retry RetryPolicy, inst *cloud.FleetInstance,
+	k JobKind, start, cost, revokedAt float64) placement {
+	survived := revokedAt - start
+	res.Stages = append(res.Stages, StageResult{
+		Kind:      k,
+		Instance:  inst.ID,
+		Type:      inst.Type,
+		StartSec:  start,
+		WaitSec:   start - r.ready,
+		Seconds:   survived,
+		CostUSD:   cost,
+		Attempt:   r.attempts[r.stage],
+		Revoked:   true,
+		RevokedAt: revokedAt,
+	})
+	res.Seconds += survived
+	r.waitSec += start - r.ready
+	res.Revocations++
+	res.RetriedSec += survived
+	r.revs[r.stage]++
+	r.held = -1 // the machine is gone
+
+	if retry.FromScratch && r.stage > 0 {
+		// No checkpoints: every completed stage's work is lost too and
+		// will be redone from the first stage.
+		for s := 0; s < r.stage; s++ {
+			res.RetriedSec += r.doneSec[s]
+		}
+		r.stage = 0
+	} else if r.stage > 0 {
+		// Stage-boundary checkpoint: only the truncated attempt is
+		// lost; completed stages stand.
+		res.RecoveredFromCheckpoint++
+	}
+	if r.attempts[r.stage] >= retry.MaxAttempts {
+		res.Err = fmt.Errorf("flow: stage %s of job %q revoked on attempt %d/%d",
+			k, r.job.Name, r.attempts[r.stage], retry.MaxAttempts)
+		return stageFailed
+	}
+	r.ready = revokedAt + retry.BackoffSec
+	return stageRevoked
 }
 
 // adaptiveRequest reconsiders stage k's planned instance type against

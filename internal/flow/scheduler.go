@@ -47,6 +47,11 @@ type Job struct {
 	// seconds, measured against FinishSec (queueing included); 0 means
 	// none.
 	DeadlineSec float64
+	// Retry governs the job's reaction to spot revocations (backoff,
+	// per-stage attempt cap, escalation to on-demand). The zero value
+	// applies defaults and never engages without a revocation model on
+	// the fleet.
+	Retry RetryPolicy
 	// Interference is the multi-tenant slowdown on the job's host (see
 	// cloud.Host.Interference); 0 means an idle host.
 	Interference float64
@@ -71,6 +76,14 @@ type StageResult struct {
 	// CostUSD is the stage's lease bill; for a job holding one machine
 	// across stages it is the marginal bill of extending the lease.
 	CostUSD float64
+	// Attempt is the 1-based run count of this stage kind within the
+	// job: 1 for a first run, higher for retries after revocations.
+	Attempt int
+	// Revoked marks an attempt cut short by a spot revocation at
+	// RevokedAt; Seconds then holds only the survived (lost) work and
+	// the stage re-enters the queue from its last checkpoint.
+	Revoked   bool
+	RevokedAt float64
 }
 
 // JobResult is one job's outcome.
@@ -97,6 +110,14 @@ type JobResult struct {
 	// its deadline (always false on error; true when no deadline was
 	// set).
 	DeadlineMet bool
+	// Revocations counts the job's stage attempts cut by spot
+	// reclamations; RetriedSec totals the work those attempts lost
+	// (billed busy time that had to be redone).
+	Revocations int
+	RetriedSec  float64
+	// RecoveredFromCheckpoint counts revocations the job survived by
+	// resuming from a completed-stage boundary instead of from scratch.
+	RecoveredFromCheckpoint int
 }
 
 // Schedule aggregates a batch of jobs. All aggregates fold in job
@@ -127,6 +148,11 @@ type Schedule struct {
 	DeadlinesMissed int
 	// Failed counts jobs that returned an error.
 	Failed int
+	// Revocations and RetriedSec aggregate the jobs' spot-reclamation
+	// counts and lost work; both zero on fleets without a revocation
+	// model.
+	Revocations int
+	RetriedSec  float64
 }
 
 // Scheduler runs flow jobs over a bounded fleet of simulated cloud
@@ -166,6 +192,10 @@ type preparedJob struct {
 	// machine's model — the forecast path (see Forecast), which has
 	// predictions but no executed pipeline.
 	seconds map[JobKind]float64
+	// hold forces this job to keep one machine across its stages even
+	// under a re-instancing policy — the forecast-side mirror of a
+	// SingleInstance execution (ForecastJob.Hold).
+	hold bool
 }
 
 // stageSeconds predicts stage k's runtime on instance type it. Order
@@ -238,6 +268,8 @@ func buildSchedule(policyName string, fleet *cloud.Fleet, prepared []*preparedJo
 		sched.TotalCostUSD += r.CostUSD
 		sched.TotalCPUSeconds += r.Seconds
 		sched.TotalWaitSec += r.WaitSec
+		sched.Revocations += r.Revocations
+		sched.RetriedSec += r.RetriedSec
 		if r.FinishSec > sched.MakespanSec {
 			sched.MakespanSec = r.FinishSec
 		}

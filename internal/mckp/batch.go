@@ -29,6 +29,13 @@ type BatchJob struct {
 	// measured against its predicted finish time under contention
 	// (queueing included); 0 means none.
 	DeadlineSec int
+	// Hold marks a job executed under the holding policy (flow's
+	// SingleInstance): one machine leased once and kept across every
+	// stage. Its selection is then constrained to a single label — the
+	// solver enumerates the labels common to all classes — and the
+	// estimator places the whole job back-to-back on one machine with no
+	// inter-stage re-queueing.
+	Hold bool
 }
 
 // Capacity is the shared fleet's capacity profile: instance-type label
@@ -99,8 +106,114 @@ func batchValidate(jobs []BatchJob, capacity Capacity) error {
 				}
 			}
 		}
+		if job.Hold {
+			if err := validateHold(job); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
+}
+
+// validateHold checks a holding-policy job's choice table: a label may
+// appear at most once per class (a label must determine the pick), and
+// at least one label must appear in every class (otherwise no single
+// machine can run the whole job).
+func validateHold(job BatchJob) error {
+	for _, cl := range job.Classes {
+		seen := map[string]bool{}
+		for _, it := range cl.Items {
+			if seen[it.Label] {
+				return fmt.Errorf("mckp: hold job %q stage %q repeats label %q", job.Name, cl.Name, it.Label)
+			}
+			seen[it.Label] = true
+		}
+	}
+	if len(holdLabels(job)) == 0 {
+		return fmt.Errorf("mckp: hold job %q has no label common to all stages", job.Name)
+	}
+	return nil
+}
+
+// holdLabels returns the labels available to a hold job — those present
+// in every class — sorted for determinism.
+func holdLabels(job BatchJob) []string {
+	if len(job.Classes) == 0 {
+		return nil
+	}
+	count := map[string]int{}
+	for _, cl := range job.Classes {
+		for _, it := range cl.Items {
+			count[it.Label]++
+		}
+	}
+	var labels []string
+	for label, n := range count {
+		if n == len(job.Classes) {
+			labels = append(labels, label)
+		}
+	}
+	sort.Strings(labels)
+	return labels
+}
+
+// holdPicks resolves a hold job's per-class item indices for one label.
+func holdPicks(job BatchJob, label string) []int {
+	picks := make([]int, len(job.Classes))
+	for l, cl := range job.Classes {
+		picks[l] = -1
+		for j, it := range cl.Items {
+			if it.Label == label {
+				picks[l] = j
+				break
+			}
+		}
+		if picks[l] < 0 {
+			return nil
+		}
+	}
+	return picks
+}
+
+// SolveHold solves one holding-policy job in isolation: the cheapest
+// single label whose total busy time across every class fits the
+// deadline (0 means none) — the per-job counterpart of SolveMinCost
+// for flows that keep one machine leased across all stages.
+func SolveHold(classes []Class, deadlineSec int) (Selection, error) {
+	job := BatchJob{Name: "hold", Classes: classes, DeadlineSec: deadlineSec, Hold: true}
+	if err := validate(classes, 0); err != nil {
+		return Selection{}, err
+	}
+	if deadlineSec < 0 {
+		return Selection{}, fmt.Errorf("mckp: negative deadline %d", deadlineSec)
+	}
+	if err := validateHold(job); err != nil {
+		return Selection{}, err
+	}
+	return holdSolve(job, nil)
+}
+
+// holdSolve is the holding-policy counterpart of pricedSolve: the
+// selection is one label for every stage, so the solve enumerates the
+// common labels, keeps those whose total busy time fits the deadline,
+// and returns the cheapest under the priced costs (ties toward the
+// lexicographically earlier label), re-totaled against true costs.
+func holdSolve(job BatchJob, prices map[string]float64) (Selection, error) {
+	best := Selection{Feasible: false}
+	bestPriced := math.Inf(1)
+	for _, label := range holdLabels(job) {
+		picks := holdPicks(job, label)
+		sel := retotal(job, picks)
+		if sel.TotalTime > effectiveDeadline(job) {
+			continue
+		}
+		priced := sel.TotalCost + prices[label]*float64(sel.TotalTime)
+		if priced < bestPriced {
+			bestPriced = priced
+			best = sel
+		}
+	}
+	return best, nil
 }
 
 // effectiveDeadline is the DP budget for one job: its own deadline, or
@@ -127,6 +240,9 @@ func effectiveDeadline(job BatchJob) int {
 // by the shadow price of its label times its runtime — congestion
 // rendered as money — and returns picks plus true (unpriced) totals.
 func pricedSolve(job BatchJob, prices map[string]float64) (Selection, error) {
+	if job.Hold {
+		return holdSolve(job, prices)
+	}
 	classes := job.Classes
 	if len(prices) > 0 {
 		classes = make([]Class, len(job.Classes))
@@ -236,6 +352,39 @@ func batchEstimate(jobs []BatchJob, picks [][]int, capacity Capacity) (ests []Jo
 		}
 		r := queue[best]
 		job := jobs[r.job]
+		if job.Hold {
+			// The holding policy leases one machine for the whole job: all
+			// stages run back-to-back on it with no inter-stage re-queueing,
+			// exactly as the flow scheduler's SingleInstance placement does.
+			label := job.Classes[0].Items[picks[r.job][0]].Label
+			total := 0
+			for l := range job.Classes {
+				total += job.Classes[l].Items[picks[r.job][l]].TimeSec
+			}
+			machines := free[label]
+			m := 0
+			for i := 1; i < len(machines); i++ {
+				if machines[i] < machines[m] {
+					m = i
+				}
+			}
+			start := r.ready
+			if machines[m] > start {
+				start = machines[m]
+			}
+			free[label][m] = start + total
+			busy[label] += total
+			wait[label] += start - r.ready
+			started[r.job] = true
+			ests[r.job].StartSec = start
+			ests[r.job].WaitSec = start - r.ready
+			ests[r.job].FinishSec = start + total
+			if start+total > makespan {
+				makespan = start + total
+			}
+			queue = append(queue[:best], queue[best+1:]...)
+			continue
+		}
 		it := job.Classes[r.stage].Items[picks[r.job][r.stage]]
 		machines := free[it.Label]
 		m := 0
@@ -443,28 +592,45 @@ func repairMisses(jobs []BatchJob, capacity Capacity, start *candidate) *candida
 			break
 		}
 		var bestMove *candidate
-		for l := range jobs[worst].Classes {
-			for j := range jobs[worst].Classes[l].Items {
-				if j == cur.picks[worst][l] {
+		try := func(picks []int) {
+			trial := &candidate{method: "round-robin", prices: cur.prices, round: cur.round,
+				picks: make([][]int, len(jobs)), sels: make([]Selection, len(jobs))}
+			for i := range jobs {
+				trial.picks[i] = append([]int(nil), cur.picks[i]...)
+				trial.sels[i] = cur.sels[i]
+			}
+			trial.picks[worst] = append([]int(nil), picks...)
+			trial.sels[worst] = retotal(jobs[worst], trial.picks[worst])
+			if trial.sels[worst].TotalTime > effectiveDeadline(jobs[worst]) {
+				return // busy time alone already blows the budget
+			}
+			trial.evaluate(jobs, capacity)
+			if trial.missed < cur.missed ||
+				(trial.missed == cur.missed && trial.ests[worst].FinishSec < cur.ests[worst].FinishSec) {
+				if bestMove == nil || trial.better(bestMove) {
+					bestMove = trial
+				}
+			}
+		}
+		if jobs[worst].Hold {
+			// A hold job moves as a unit: re-pick its single label, never a
+			// lone stage (a per-stage move would split the held lease).
+			curLabel := jobs[worst].Classes[0].Items[cur.picks[worst][0]].Label
+			for _, label := range holdLabels(jobs[worst]) {
+				if label == curLabel {
 					continue
 				}
-				trial := &candidate{method: "round-robin", prices: cur.prices, round: cur.round,
-					picks: make([][]int, len(jobs)), sels: make([]Selection, len(jobs))}
-				for i := range jobs {
-					trial.picks[i] = append([]int(nil), cur.picks[i]...)
-					trial.sels[i] = cur.sels[i]
-				}
-				trial.picks[worst][l] = j
-				trial.sels[worst] = retotal(jobs[worst], trial.picks[worst])
-				if trial.sels[worst].TotalTime > effectiveDeadline(jobs[worst]) {
-					continue // busy time alone already blows the budget
-				}
-				trial.evaluate(jobs, capacity)
-				if trial.missed < cur.missed ||
-					(trial.missed == cur.missed && trial.ests[worst].FinishSec < cur.ests[worst].FinishSec) {
-					if bestMove == nil || trial.better(bestMove) {
-						bestMove = trial
+				try(holdPicks(jobs[worst], label))
+			}
+		} else {
+			for l := range jobs[worst].Classes {
+				for j := range jobs[worst].Classes[l].Items {
+					if j == cur.picks[worst][l] {
+						continue
 					}
+					picks := append([]int(nil), cur.picks[worst]...)
+					picks[l] = j
+					try(picks)
 				}
 			}
 		}

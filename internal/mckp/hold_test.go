@@ -1,0 +1,135 @@
+package mckp
+
+import (
+	"strings"
+	"testing"
+)
+
+func holdJob(name string, deadline int, hold bool) BatchJob {
+	// Two labels in every class: "cheap" is slow, "fast" costs more.
+	return BatchJob{
+		Name: name, DeadlineSec: deadline, Hold: hold,
+		Classes: []Class{
+			{Name: "synth", Items: []Item{
+				{Label: "cheap", TimeSec: 100, Cost: 1.0},
+				{Label: "fast", TimeSec: 40, Cost: 3.0},
+			}},
+			{Name: "route", Items: []Item{
+				{Label: "cheap", TimeSec: 200, Cost: 2.0},
+				{Label: "fast", TimeSec: 80, Cost: 6.0},
+			}},
+		},
+	}
+}
+
+// TestHoldSolveSingleLabel: a holding-policy job's selection uses one
+// label for every stage — the cheapest whose total busy time fits the
+// deadline — even when a mixed pick would be cheaper.
+func TestHoldSolveSingleLabel(t *testing.T) {
+	capacity := Capacity{"cheap": 1, "fast": 1}
+
+	// No deadline: the cheap machine wins whole.
+	batch, err := BatchOptimize([]BatchJob{holdJob("a", 0, true)}, capacity)
+	if err != nil || !batch.Feasible {
+		t.Fatalf("%+v, %v", batch, err)
+	}
+	if got := batch.Jobs[0].Pick; got[0] != 0 || got[1] != 0 {
+		t.Fatalf("picks %v, want all-cheap", got)
+	}
+
+	// 200 s deadline: cheap totals 300 s and cannot hold it; the whole
+	// job moves to the fast machine (120 s), never a mixed split — a
+	// mixed pick (fast synth + cheap route = 240 s busy) is cheaper than
+	// all-fast but would break the single held lease.
+	batch, err = BatchOptimize([]BatchJob{holdJob("a", 200, true)}, capacity)
+	if err != nil || !batch.Feasible {
+		t.Fatalf("%+v, %v", batch, err)
+	}
+	if got := batch.Jobs[0].Pick; got[0] != 1 || got[1] != 1 {
+		t.Fatalf("picks %v, want all-fast", got)
+	}
+	if batch.MissedDeadlines != 0 {
+		t.Fatalf("missed %d", batch.MissedDeadlines)
+	}
+
+	// The same table without Hold is free to mix.
+	batch, err = BatchOptimize([]BatchJob{holdJob("a", 250, false)}, capacity)
+	if err != nil || !batch.Feasible {
+		t.Fatalf("%+v, %v", batch, err)
+	}
+	if got := batch.Jobs[0].Pick; got[0] != 1 || got[1] != 0 {
+		t.Fatalf("picks %v, want fast synth + cheap route", got)
+	}
+}
+
+// TestHoldEstimateBackToBack: the estimator places a hold job on one
+// machine with no inter-stage re-queueing — a competing job on the same
+// label cannot interleave between its stages.
+func TestHoldEstimateBackToBack(t *testing.T) {
+	jobs := []BatchJob{holdJob("held", 0, true), holdJob("rival", 0, false)}
+	capacity := Capacity{"cheap": 1, "fast": 1}
+	picks := [][]int{{0, 0}, {0, 0}} // both jobs want the one cheap machine
+	ests, span, busy, _ := batchEstimate(jobs, picks, capacity)
+
+	// The held job runs 0..300 uninterrupted; the rival queues behind
+	// the whole job, not behind its first stage.
+	if ests[0].StartSec != 0 || ests[0].FinishSec != 300 || ests[0].WaitSec != 0 {
+		t.Fatalf("held estimate %+v", ests[0])
+	}
+	if ests[1].StartSec != 300 || ests[1].FinishSec != 600 {
+		t.Fatalf("rival estimate %+v", ests[1])
+	}
+	if span != 600 || busy["cheap"] != 600 {
+		t.Fatalf("span %d, busy %v", span, busy)
+	}
+
+	// Without Hold the rival interleaves after the first stage.
+	jobs[0].Hold = false
+	ests, _, _, _ = batchEstimate(jobs, picks, capacity)
+	if ests[0].WaitSec == 0 && ests[1].StartSec == 300 {
+		t.Fatalf("re-queueing estimate identical to held: %+v", ests)
+	}
+}
+
+// TestHoldRepairMovesWholeLabel: when a deadline miss forces the
+// repair loop to act on a hold job, the move is a whole-label switch.
+func TestHoldRepairMovesWholeLabel(t *testing.T) {
+	// Two held jobs contending for one cheap machine; the second misses
+	// its deadline queueing behind the first and must move wholesale to
+	// the fast machine.
+	jobs := []BatchJob{holdJob("a", 0, true), holdJob("b", 400, true)}
+	capacity := Capacity{"cheap": 1, "fast": 1}
+	batch, err := BatchOptimize(jobs, capacity)
+	if err != nil || !batch.Feasible {
+		t.Fatalf("%+v, %v", batch, err)
+	}
+	if batch.MissedDeadlines != 0 {
+		t.Fatalf("missed %d: %+v", batch.MissedDeadlines, batch.Estimates)
+	}
+	for i, sel := range batch.Jobs {
+		l0 := jobs[i].Classes[0].Items[sel.Pick[0]].Label
+		l1 := jobs[i].Classes[1].Items[sel.Pick[1]].Label
+		if l0 != l1 {
+			t.Fatalf("job %d split its held lease across %s and %s", i, l0, l1)
+		}
+	}
+}
+
+// TestHoldValidation: ambiguous or unsatisfiable hold tables are
+// rejected up front.
+func TestHoldValidation(t *testing.T) {
+	capacity := Capacity{"cheap": 1, "fast": 1}
+
+	dup := holdJob("a", 0, true)
+	dup.Classes[0].Items = append(dup.Classes[0].Items, Item{Label: "cheap", TimeSec: 50, Cost: 9})
+	if _, err := BatchOptimize([]BatchJob{dup}, capacity); err == nil || !strings.Contains(err.Error(), "repeats label") {
+		t.Fatalf("duplicate label accepted: %v", err)
+	}
+
+	disjoint := holdJob("a", 0, true)
+	disjoint.Classes[1].Items = []Item{{Label: "fast", TimeSec: 80, Cost: 6.0}}
+	disjoint.Classes[0].Items = []Item{{Label: "cheap", TimeSec: 100, Cost: 1.0}}
+	if _, err := BatchOptimize([]BatchJob{disjoint}, capacity); err == nil || !strings.Contains(err.Error(), "no label common") {
+		t.Fatalf("disjoint labels accepted: %v", err)
+	}
+}

@@ -1,0 +1,84 @@
+package mckp
+
+import "math"
+
+// This file folds preemption risk into the knapsack's currency. A spot
+// item's nominal (TimeSec, Cost) describes one uninterrupted attempt;
+// under a revocation hazard the stage actually pays for every truncated
+// attempt and waits out every backoff before the attempt that survives.
+// RiskAdjust rewrites each item to its expectation under a memoryless
+// (exponential) revocation process — the same process the cloud
+// package's RevocationModel draws from — so the per-job DP and the
+// batch shadow-price loop price spot capacity at what it really costs:
+// deadline-critical stages find on-demand cheaper in expectation, while
+// slack-rich stages keep the discount.
+
+// Hazards maps instance-type labels to revocation rates in events per
+// hour of busy time — the mckp rendering of a RevocationModel's
+// per-type hazards. Absent labels (and on-demand types) carry rate 0.
+type Hazards map[string]float64
+
+// maxExpectedAttempts caps the expectation blow-up for items whose
+// runtime dwarfs the mean time between revocations (lambda*t large):
+// past ~100 expected attempts the item is effectively unrunnable on
+// spot and the exact magnitude no longer changes any decision.
+const maxExpectedAttempts = 100
+
+// ExpectedAttempts is the expected number of runs of a tSec stage until
+// one finishes without a revocation, under an exponential hazard of
+// ratePerHour: e^(lambda*t), capped at maxExpectedAttempts. Rate 0 (or
+// a zero-length stage) is exactly 1.
+func ExpectedAttempts(tSec, ratePerHour float64) float64 {
+	if ratePerHour <= 0 || tSec <= 0 {
+		return 1
+	}
+	a := math.Exp(ratePerHour / 3600 * tSec)
+	if a > maxExpectedAttempts {
+		return maxExpectedAttempts
+	}
+	return a
+}
+
+// ExpectedBusySec is the expected total machine-busy seconds to push a
+// tSec stage through under the hazard — truncated attempts included:
+// (e^(lambda*t) - 1) / lambda, which tends to t as the rate tends to 0.
+func ExpectedBusySec(tSec, ratePerHour float64) float64 {
+	a := ExpectedAttempts(tSec, ratePerHour)
+	if a == 1 {
+		return tSec
+	}
+	return (a - 1) / (ratePerHour / 3600)
+}
+
+// RiskAdjust rewrites a choice table to its revocation-adjusted
+// expectation: each item whose label carries a hazard gets
+//
+//	TimeSec = ceil(E[busy] + (E[attempts]-1) * backoffSec)
+//	Cost    = (Cost / TimeSec) * E[busy]
+//
+// i.e. the wall-clock the scheduler should budget (lost attempts plus
+// retry backoffs) and the bill the truncated-lease ledger will actually
+// charge. Items with rate 0 are returned bit-identical — a zero-hazard
+// adjustment is a no-op, so on-demand-only problems solve exactly as
+// before. The input is never mutated.
+func RiskAdjust(classes []Class, hz Hazards, backoffSec float64) []Class {
+	out := make([]Class, len(classes))
+	for l, cl := range classes {
+		out[l] = Class{Name: cl.Name, Items: make([]Item, len(cl.Items))}
+		for j, it := range cl.Items {
+			rate := hz[it.Label]
+			if rate <= 0 || it.TimeSec <= 0 {
+				out[l].Items[j] = it
+				continue
+			}
+			t := float64(it.TimeSec)
+			attempts := ExpectedAttempts(t, rate)
+			busy := ExpectedBusySec(t, rate)
+			adj := it
+			adj.TimeSec = int(math.Ceil(busy + (attempts-1)*backoffSec))
+			adj.Cost = it.Cost / t * busy
+			out[l].Items[j] = adj
+		}
+	}
+	return out
+}
