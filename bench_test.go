@@ -34,6 +34,7 @@ import (
 	"edacloud/internal/par"
 	"edacloud/internal/place"
 	"edacloud/internal/route"
+	"edacloud/internal/serve"
 	"edacloud/internal/synth"
 	"edacloud/internal/techlib"
 )
@@ -872,6 +873,94 @@ func BenchmarkBatchOptimize(b *testing.B) {
 				"cost_usd":     sel.TotalCost,
 				"makespan_sec": float64(sel.MakespanSec),
 				"rounds":       float64(sel.Rounds),
+			})
+		}
+	}
+}
+
+// BenchmarkAdmissionThroughput is the smoke benchmark of the serving
+// layer: a 1200-job seeded bursty trace replayed through the
+// rolling-horizon engine — every arrival an admission decision with a
+// joint re-plan, every completion a re-optimization — over a bounded
+// 8-machine fleet shared by three weighted tenants. The whole replay
+// is simulated time, so the metric is real wall-clock per admission
+// decision; the decisions themselves are deterministic and
+// worker-count-independent.
+func BenchmarkAdmissionThroughput(b *testing.B) {
+	const nJobs = 1200
+	mkFleet := func() *cloud.Fleet {
+		f, err := cloud.ParseFleetSpec(cloud.DefaultCatalog(),
+			"gp.1x=2,gp.4x=2,mem.1x=2,mem.4x=2")
+		if err != nil {
+			b.Fatal(err)
+		}
+		return f
+	}
+	mkTemplates := func(fleet *cloud.Fleet) []serve.Template {
+		item := func(label string, secs int) mckp.Item {
+			typ, ok := fleet.TypeByName(label)
+			if !ok {
+				b.Fatalf("no type %q", label)
+			}
+			return mckp.Item{Label: label, TimeSec: secs, Cost: typ.Cost(float64(secs))}
+		}
+		return []serve.Template{
+			{
+				Name:  "short",
+				Kinds: []flow.JobKind{flow.JobSynthesis, flow.JobRouting},
+				Classes: []mckp.Class{
+					{Name: "synthesis", Items: []mckp.Item{item("gp.1x", 20), item("gp.4x", 8)}},
+					{Name: "routing", Items: []mckp.Item{item("mem.1x", 16), item("mem.4x", 6)}},
+				},
+			},
+			{
+				Name:  "long",
+				Kinds: []flow.JobKind{flow.JobSynthesis, flow.JobPlacement, flow.JobRouting},
+				Classes: []mckp.Class{
+					{Name: "synthesis", Items: []mckp.Item{item("gp.1x", 30), item("gp.4x", 12)}},
+					{Name: "placement", Items: []mckp.Item{item("mem.1x", 24), item("mem.4x", 10)}},
+					{Name: "routing", Items: []mckp.Item{item("mem.1x", 20), item("mem.4x", 8)}},
+				},
+			},
+		}
+	}
+	trace, err := serve.TraceGen(serve.TraceConfig{
+		Seed: 11, Jobs: nJobs, RatePerSec: 0.15, Burstiness: 0.4, SlackSec: 220,
+		Tenants:   []string{"acme", "blue", "coral"},
+		Templates: []string{"short", "long"},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		fleet := mkFleet()
+		cfg := serve.Config{
+			Fleet: fleet,
+			Tenants: []serve.Tenant{
+				{Name: "acme", Weight: 3}, {Name: "blue", Weight: 2}, {Name: "coral", Weight: 1},
+			},
+			Templates: mkTemplates(fleet),
+		}
+		start := time.Now()
+		_, rep, err := serve.Replay(cfg, trace)
+		if err != nil {
+			b.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		if rep.MissedDeadlines != 0 || rep.MissedPromises != 0 {
+			b.Fatalf("replay broke promises:\n%s", rep)
+		}
+		jobsPerSec := float64(nJobs) / elapsed.Seconds()
+		b.ReportMetric(jobsPerSec, "jobs/s")
+		if i == 0 {
+			fmt.Printf("\nAdmissionThroughput cores=%d jobs=%d admitted=%d rejected=%d replans=%d adopted=%d cost=$%.4f wall=%v\n",
+				runtime.GOMAXPROCS(0), nJobs, rep.Admitted, rep.Rejected,
+				rep.Replans, rep.Adopted, rep.TotalCostUSD, elapsed.Round(time.Millisecond))
+			benchSnapshot(b, "AdmissionThroughput", map[string]float64{
+				"jobs_per_sec": jobsPerSec,
+				"admitted":     float64(rep.Admitted),
+				"replans":      float64(rep.Replans),
+				"cost_usd":     rep.TotalCostUSD,
 			})
 		}
 	}

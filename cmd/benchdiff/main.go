@@ -1,0 +1,182 @@
+// Command benchdiff compares two sets of BENCH_*.json perf-trajectory
+// snapshots (the artifacts the repo's bench smoke emits, see
+// bench_test.go) and reports per-metric deltas, flagging regressions
+// beyond a threshold.
+//
+// Each snapshot directory holds files of the form BENCH_<name>.json
+// with a {benchmark, gomaxprocs, unix_sec, metrics} payload. benchdiff
+// pairs files by name, diffs each metric, and classifies the direction
+// by the metric's name: throughput-like metrics (jobs_per_sec,
+// *_speedup, *_util_pct, admitted) regress when they drop, cost-like
+// metrics (*_sec, *_usd, *_lost_pct, replans) regress when they rise.
+// Metrics with no recognizable direction are printed but never
+// flagged.
+//
+// By default regressions are warnings (exit 0), so a noisy CI runner
+// cannot fail the build; -fail turns them into a non-zero exit for
+// setups with stable reference hardware.
+//
+// Usage:
+//
+//	benchdiff old-snapshots/ new-snapshots/
+//	benchdiff -threshold 10 -fail baseline/ current/
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+type snapshot struct {
+	Benchmark  string             `json:"benchmark"`
+	GoMaxProcs int                `json:"gomaxprocs"`
+	UnixSec    int64              `json:"unix_sec"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// direction classifies a metric name: +1 higher is better, -1 lower is
+// better, 0 unknown (never flagged).
+func direction(metric string) int {
+	m := strings.ToLower(metric)
+	switch {
+	case strings.HasSuffix(m, "_per_sec") || strings.HasSuffix(m, "_speedup") ||
+		strings.HasSuffix(m, "_util_pct") || m == "admitted" || m == "jobs_per_sec":
+		return +1
+	case strings.HasSuffix(m, "_sec") || strings.HasSuffix(m, "_usd") ||
+		strings.HasSuffix(m, "_lost_pct") || m == "replans" || m == "rounds":
+		return -1
+	}
+	return 0
+}
+
+// delta is one compared metric.
+type delta struct {
+	Benchmark, Metric   string
+	Old, New, ChangePct float64
+	Direction           int
+	Regressed, Improved bool
+}
+
+// compare pairs the two snapshot sets by benchmark name and diffs
+// every metric present in both. thresholdPct bounds the tolerated
+// regression.
+func compare(old, new map[string]snapshot, thresholdPct float64) []delta {
+	var names []string
+	for name := range old {
+		if _, ok := new[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var out []delta
+	for _, name := range names {
+		o, n := old[name], new[name]
+		var metrics []string
+		for m := range o.Metrics {
+			if _, ok := n.Metrics[m]; ok {
+				metrics = append(metrics, m)
+			}
+		}
+		sort.Strings(metrics)
+		for _, m := range metrics {
+			ov, nv := o.Metrics[m], n.Metrics[m]
+			d := delta{Benchmark: name, Metric: m, Old: ov, New: nv, Direction: direction(m)}
+			if ov != 0 {
+				d.ChangePct = 100 * (nv - ov) / ov
+			}
+			switch d.Direction {
+			case +1:
+				d.Regressed = d.ChangePct < -thresholdPct
+				d.Improved = d.ChangePct > thresholdPct
+			case -1:
+				d.Regressed = d.ChangePct > thresholdPct
+				d.Improved = d.ChangePct < -thresholdPct
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// loadDir reads every BENCH_*.json under dir keyed by benchmark name.
+func loadDir(dir string) (map[string]snapshot, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("benchdiff: no BENCH_*.json under %s", dir)
+	}
+	out := map[string]snapshot{}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		var s snapshot
+		if err := json.Unmarshal(data, &s); err != nil {
+			return nil, fmt.Errorf("benchdiff: %s: %w", p, err)
+		}
+		if s.Benchmark == "" {
+			return nil, fmt.Errorf("benchdiff: %s has no benchmark name", p)
+		}
+		out[s.Benchmark] = s
+	}
+	return out, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 20, "regression threshold in percent")
+	failOnRegress := flag.Bool("fail", false, "exit non-zero on regression (default: warn only)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] [-fail] <old-dir> <new-dir>")
+		os.Exit(2)
+	}
+	oldSnaps, err := loadDir(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	newSnaps, err := loadDir(flag.Arg(1))
+	if err != nil {
+		fail(err)
+	}
+	deltas := compare(oldSnaps, newSnaps, *threshold)
+	if len(deltas) == 0 {
+		fmt.Println("benchdiff: no common benchmarks to compare")
+		return
+	}
+	regressions := 0
+	fmt.Printf("%-24s %-16s %14s %14s %9s\n", "benchmark", "metric", "old", "new", "change")
+	for _, d := range deltas {
+		verdict := ""
+		switch {
+		case d.Regressed:
+			verdict = "  REGRESSED"
+			regressions++
+		case d.Improved:
+			verdict = "  improved"
+		case d.Direction == 0:
+			verdict = "  (untracked)"
+		}
+		fmt.Printf("%-24s %-16s %14.4f %14.4f %+8.1f%%%s\n",
+			d.Benchmark, d.Metric, d.Old, d.New, d.ChangePct, verdict)
+	}
+	if regressions > 0 {
+		fmt.Printf("\nbenchdiff: %d metric(s) regressed beyond %.0f%%\n", regressions, *threshold)
+		if *failOnRegress {
+			os.Exit(1)
+		}
+		fmt.Println("benchdiff: warning only (pass -fail to enforce)")
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeSnap(t *testing.T, dir, name string, metrics map[string]float64) {
+	t.Helper()
+	s := snapshot{Benchmark: name, GoMaxProcs: 4, UnixSec: 1, Metrics: metrics}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_"+name+".json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDirection pins the metric-name heuristics.
+func TestDirection(t *testing.T) {
+	for metric, want := range map[string]int{
+		"jobs_per_sec":   +1,
+		"gcn_speedup":    +1,
+		"fleet_util_pct": +1,
+		"admitted":       +1,
+		"makespan_sec":   -1,
+		"cost_usd":       -1,
+		"work_lost_pct":  -1,
+		"replans":        -1,
+		"rounds":         -1,
+		"mystery":        0,
+	} {
+		if got := direction(metric); got != want {
+			t.Errorf("direction(%q) = %d, want %d", metric, got, want)
+		}
+	}
+}
+
+// TestCompare: a 30% throughput drop and a 30% cost rise regress at
+// the 20% threshold; a 10% wobble and untracked metrics never do; and
+// improvements are labeled, not flagged.
+func TestCompare(t *testing.T) {
+	oldDir, newDir := t.TempDir(), t.TempDir()
+	writeSnap(t, oldDir, "Alpha", map[string]float64{
+		"jobs_per_sec": 100, "cost_usd": 10, "mystery": 5,
+	})
+	writeSnap(t, newDir, "Alpha", map[string]float64{
+		"jobs_per_sec": 70, "cost_usd": 13, "mystery": 50,
+	})
+	writeSnap(t, oldDir, "Beta", map[string]float64{"makespan_sec": 100})
+	writeSnap(t, newDir, "Beta", map[string]float64{"makespan_sec": 90})
+	// Gamma exists only on one side: silently skipped.
+	writeSnap(t, oldDir, "Gamma", map[string]float64{"jobs_per_sec": 1})
+
+	oldSnaps, err := loadDir(oldDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newSnaps, err := loadDir(newDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas := compare(oldSnaps, newSnaps, 20)
+	got := map[string]delta{}
+	for _, d := range deltas {
+		got[d.Benchmark+"/"+d.Metric] = d
+	}
+	if len(got) != 4 {
+		t.Fatalf("want 4 compared metrics, got %d: %+v", len(got), deltas)
+	}
+	if d := got["Alpha/jobs_per_sec"]; !d.Regressed || d.Improved {
+		t.Fatalf("throughput drop not flagged: %+v", d)
+	}
+	if d := got["Alpha/cost_usd"]; !d.Regressed {
+		t.Fatalf("cost rise not flagged: %+v", d)
+	}
+	if d := got["Alpha/mystery"]; d.Regressed || d.Improved {
+		t.Fatalf("untracked metric flagged: %+v", d)
+	}
+	// A 10% makespan drop is inside the 20% threshold: neither flagged
+	// nor celebrated.
+	if d := got["Beta/makespan_sec"]; d.Regressed || d.Improved {
+		t.Fatalf("within-threshold wobble flagged: %+v", d)
+	}
+	// Within threshold: nothing flagged.
+	for _, d := range compare(oldSnaps, newSnaps, 50) {
+		if d.Regressed {
+			t.Fatalf("50%% threshold still flagged %+v", d)
+		}
+	}
+}
+
+// TestLoadDirErrors: empty directories and malformed files refuse.
+func TestLoadDirErrors(t *testing.T) {
+	if _, err := loadDir(t.TempDir()); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_bad.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadDir(dir); err == nil {
+		t.Fatal("malformed snapshot accepted")
+	}
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"flag"
+	"testing"
+
+	"edacloud/internal/clitest"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// TestReplayGolden pins the -replay mode's stdout end to end: the
+// trace header, the rolling-horizon and independent reports, the
+// comparison line and the PASS verdicts. Everything printed is
+// simulated and deterministic (worker-count-independent by the serve
+// engine's design), so the comparison is byte-exact after whitespace
+// normalization.
+func TestReplayGolden(t *testing.T) {
+	bin := clitest.Build(t, "")
+	got := clitest.Run(t, bin,
+		"-replay",
+		"-designs", "ibex,aes",
+		"-scale", "0.03",
+		"-fleet", "gp.1x=1,gp.2x=1,gp.8x=1,mem.1x=1,mem.2x=1,mem.8x=1",
+		"-trace-seed", "7",
+		"-trace-jobs", "12",
+		"-rate", "0.02",
+		"-burst", "0.3",
+		"-slack", "3",
+	)
+	clitest.Golden(t, "testdata/replay.golden", got, *update)
+}
+
+// TestReplayGoldenWorkers re-runs the same replay with -workers 1 and
+// -workers 8: the output must match the golden byte for byte — the
+// serving layer's determinism contract.
+func TestReplayGoldenWorkers(t *testing.T) {
+	bin := clitest.Build(t, "")
+	for _, w := range []string{"1", "8"} {
+		got := clitest.Run(t, bin,
+			"-replay",
+			"-designs", "ibex,aes",
+			"-scale", "0.03",
+			"-fleet", "gp.1x=1,gp.2x=1,gp.8x=1,mem.1x=1,mem.2x=1,mem.8x=1",
+			"-trace-seed", "7",
+			"-trace-jobs", "12",
+			"-rate", "0.02",
+			"-burst", "0.3",
+			"-slack", "3",
+			"-workers", w,
+		)
+		clitest.Golden(t, "testdata/replay.golden", got, false)
+	}
+}

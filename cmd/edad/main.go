@@ -1,0 +1,290 @@
+// Command edad is the EDA-flow serving daemon: a multi-tenant
+// admission-controlled job queue over a bounded cloud fleet, with
+// rolling-horizon re-optimization of every in-flight plan at each
+// arrival and completion (internal/serve).
+//
+// In daemon mode (-listen) it characterizes the requested designs into
+// job templates, builds the serving fleet, and serves the HTTP/JSON
+// API: POST /v1/jobs to submit, GET /v1/jobs/{id} for status,
+// GET /v1/jobs/{id}/events for progress, POST /v1/jobs/{id}/cancel,
+// POST /v1/advance to move the simulated clock, GET /v1/tenants and
+// GET /v1/report for the ledgers.
+//
+// In replay mode (-replay) it generates a seeded arrival trace and
+// replays it twice over identical fleets — once under the
+// rolling-horizon engine, once under the independent per-arrival
+// baseline — and prints both reports plus the comparison. The replay
+// is deterministic: the same seed and flags print byte-identical
+// output at any -workers value.
+//
+// Usage:
+//
+//	edad -listen :8080 -designs ibex,aes
+//	edad -replay -designs ibex,aes -trace-jobs 40 -trace-seed 7 -slack 4
+//	edad -replay -trace-jobs 1000 -rate 0.5 -burst 0.4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"edacloud/internal/cloud"
+	"edacloud/internal/core"
+	"edacloud/internal/serve"
+	"edacloud/internal/techlib"
+)
+
+func main() {
+	listen := flag.String("listen", "", "address to serve the HTTP API on (daemon mode)")
+	replay := flag.Bool("replay", false, "replay a generated trace and compare rolling-horizon against the independent baseline")
+	designList := flag.String("designs", "ibex,aes", "comma-separated designs to characterize into job templates")
+	scale := flag.Float64("scale", 0.03, "design scale factor for characterization")
+	fleetSpec := flag.String("fleet", "gp.1x=1,gp.2x=1,gp.4x=1,gp.8x=1,mem.1x=1,mem.2x=1,mem.4x=1,mem.8x=1",
+		"serving fleet as name=count,...")
+	tenantSpec := flag.String("tenants", "acme=3,blue=1", "tenants as name=weight,...")
+	traceSeed := flag.Int64("trace-seed", 1, "trace generator seed for -replay")
+	traceJobs := flag.Int("trace-jobs", 24, "trace length for -replay")
+	rate := flag.Float64("rate", 0.02, "mean arrival rate (jobs/simulated second) for -replay")
+	burst := flag.Float64("burst", 0.3, "arrival burstiness in [0,1) for -replay")
+	slack := flag.Float64("slack", 0, "deadline slack as a multiple of the template's slowest plan (0 = deadline-free)")
+	workers := flag.Int("workers", 0, "bound for characterization and re-plan fan-out (0 = all cores; results identical)")
+	flag.Parse()
+
+	if *listen == "" && !*replay {
+		fail(fmt.Errorf("edad: pass -listen for daemon mode or -replay for trace replay"))
+	}
+
+	catalog := cloud.DefaultCatalog()
+	fleet, err := cloud.ParseFleetSpec(catalog, *fleetSpec)
+	if err != nil {
+		fail(err)
+	}
+	tenants, err := parseTenants(*tenantSpec)
+	if err != nil {
+		fail(err)
+	}
+	designs := strings.Split(*designList, ",")
+	templates, err := buildTemplates(catalog, fleet, designs, *scale, *workers)
+	if err != nil {
+		fail(err)
+	}
+
+	if *replay {
+		runReplay(fleet, tenants, templates, replayParams{
+			seed: *traceSeed, jobs: *traceJobs, rate: *rate, burst: *burst,
+			slack: *slack, workers: *workers,
+			fleetSpec: *fleetSpec, designs: designs,
+		})
+		return
+	}
+
+	srv, err := serve.NewServer(serve.Config{
+		Fleet: fleet, Tenants: tenants, Templates: templates, Workers: *workers,
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("edad: serving %d templates to %d tenants on %s\n", len(templates), len(tenants), *listen)
+	fail(http.ListenAndServe(*listen, srv.Handler()))
+}
+
+// parseTenants parses "name=weight,name=weight".
+func parseTenants(spec string) ([]serve.Tenant, error) {
+	var out []serve.Tenant
+	for _, part := range strings.Split(spec, ",") {
+		name, weight, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("edad: tenant %q is not name=weight", part)
+		}
+		w, err := strconv.ParseFloat(weight, 64)
+		if err != nil {
+			return nil, fmt.Errorf("edad: tenant %q weight: %v", name, err)
+		}
+		out = append(out, serve.Tenant{Name: name, Weight: w})
+	}
+	return out, nil
+}
+
+// buildTemplates characterizes each design and converts its deployment
+// problem into a serving template, keeping only the machine choices
+// the serving fleet actually offers.
+func buildTemplates(catalog *cloud.Catalog, fleet *cloud.Fleet, designs []string, scale float64, workers int) ([]serve.Template, error) {
+	lib := techlib.Default14nm()
+	opts := core.CharacterizeOptions{Scale: scale, Workers: workers}
+	var out []serve.Template
+	for _, d := range designs {
+		d = strings.TrimSpace(d)
+		char, err := core.CharacterizeEval(lib, d, opts)
+		if err != nil {
+			return nil, err
+		}
+		prob, err := core.BuildDeploymentProblem(char, catalog)
+		if err != nil {
+			return nil, err
+		}
+		tpl := serve.Template{Name: d, Kinds: core.JobKinds()}
+		for l, cl := range prob.Classes {
+			kept := cl
+			kept.Items = nil
+			for _, it := range cl.Items {
+				if _, ok := fleet.TypeByName(it.Label); ok {
+					kept.Items = append(kept.Items, it)
+				}
+			}
+			if len(kept.Items) == 0 {
+				return nil, fmt.Errorf("edad: design %s stage %s has no machine choice in fleet", d, tpl.Kinds[l])
+			}
+			tpl.Classes = append(tpl.Classes, kept)
+		}
+		out = append(out, tpl)
+	}
+	return out, nil
+}
+
+type replayParams struct {
+	seed        int64
+	jobs        int
+	rate, burst float64
+	slack       float64
+	workers     int
+	fleetSpec   string
+	designs     []string
+}
+
+// runReplay generates the trace, replays it under both engines over
+// identical fleets, and prints the comparison.
+func runReplay(fleet *cloud.Fleet, tenants []serve.Tenant, templates []serve.Template, p replayParams) {
+	// Deadline slack is denominated in each template's slowest solo
+	// runtime, so one -slack value works across designs and scales.
+	slackSec := 0.0
+	if p.slack > 0 {
+		worst := 0
+		for _, tpl := range templates {
+			total := 0
+			for _, cl := range tpl.Classes {
+				w := 0
+				for _, it := range cl.Items {
+					if it.TimeSec > w {
+						w = it.TimeSec
+					}
+				}
+				total += w
+			}
+			if total > worst {
+				worst = total
+			}
+		}
+		slackSec = p.slack * float64(worst)
+	}
+
+	var tnames, dnames []string
+	for _, t := range tenants {
+		tnames = append(tnames, t.Name)
+	}
+	for _, tpl := range templates {
+		dnames = append(dnames, tpl.Name)
+	}
+	trace, err := serve.TraceGen(serve.TraceConfig{
+		Seed: p.seed, Jobs: p.jobs, RatePerSec: p.rate, Burstiness: p.burst,
+		SlackSec: slackSec, Tenants: tnames, Templates: dnames,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("edad replay: %d jobs, seed %d, rate %.3g/s, burstiness %.2f, slack %.0fs\n",
+		p.jobs, p.seed, p.rate, p.burst, slackSec)
+	fmt.Printf("fleet: %s\n", p.fleetSpec)
+	fmt.Printf("tenants: %s\n", strings.Join(tnames, ", "))
+	fmt.Printf("templates: %s\n\n", strings.Join(dnames, ", "))
+
+	_, rolling, err := serve.Replay(serve.Config{
+		Fleet: fleet, Tenants: tenants, Templates: templates, Workers: p.workers,
+	}, trace)
+	if err != nil {
+		fail(err)
+	}
+	indFleet, err := cloud.ParseFleetSpec(cloud.DefaultCatalog(), p.fleetSpec)
+	if err != nil {
+		fail(err)
+	}
+	_, indep, err := serve.Replay(serve.Config{
+		Fleet: indFleet, Tenants: tenants, Templates: templates, Workers: p.workers,
+		Independent: true,
+	}, trace)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("rolling-horizon:\n%s\n", indent(rolling.String()))
+	fmt.Printf("independent baseline:\n%s\n", indent(indep.String()))
+
+	fmt.Printf("rolling vs independent: cost $%.4f vs $%.4f, makespan %.3fs vs %.3fs, admitted %d vs %d\n",
+		rolling.TotalCostUSD, indep.TotalCostUSD,
+		rolling.MakespanSec, indep.MakespanSec,
+		rolling.Admitted, indep.Admitted)
+	check("no admitted job missed its deadline or its promise",
+		rolling.MissedDeadlines == 0 && rolling.MissedPromises == 0)
+	// The cost comparison is apples-to-apples only when both engines
+	// admitted the same jobs; when the rolling engine squeezes extra
+	// jobs in, its bill covers more work.
+	sameSet := len(rolling.Statuses) == len(indep.Statuses)
+	if sameSet {
+		for i := range rolling.Statuses {
+			if (rolling.Statuses[i].Status == serve.StatusRejected) != (indep.Statuses[i].Status == serve.StatusRejected) {
+				sameSet = false
+				break
+			}
+		}
+	}
+	if sameSet {
+		check("rolling-horizon cost within the independent baseline",
+			rolling.TotalCostUSD <= indep.TotalCostUSD+1e-9)
+	} else {
+		fmt.Printf("note: admitted sets differ (rolling %d vs independent %d); total bills cover different work\n",
+			rolling.Admitted, indep.Admitted)
+	}
+	printBusiest(rolling)
+}
+
+// printBusiest lists each tenant's share of the admitted spend — the
+// fairness ledger at a glance.
+func printBusiest(rep *serve.Report) {
+	stats := append([]serve.TenantStat(nil), rep.Tenants...)
+	sort.Slice(stats, func(i, j int) bool { return stats[i].CostUSD > stats[j].CostUSD })
+	fmt.Println("\nspend by tenant:")
+	for _, s := range stats {
+		share := 0.0
+		if rep.TotalCostUSD > 0 {
+			share = 100 * s.CostUSD / rep.TotalCostUSD
+		}
+		fmt.Printf("  %-8s $%.4f (%5.1f%%) across %d jobs\n", s.Name, s.CostUSD, share, s.Done+s.Canceled)
+	}
+}
+
+func check(what string, ok bool) {
+	if ok {
+		fmt.Printf("PASS: %s\n", what)
+		return
+	}
+	fmt.Printf("FAIL: %s\n", what)
+	os.Exit(1)
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = "  " + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

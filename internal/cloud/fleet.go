@@ -337,6 +337,59 @@ func (f *Fleet) Clone() *Fleet {
 	return out
 }
 
+// Snapshot returns a deep copy of the fleet including every lease and
+// ledger total — unlike Clone, which returns an unused twin. A serving
+// layer trial-books a re-plan on a snapshot and adopts or discards the
+// whole fleet state atomically. The revocation model is shared, not
+// copied, for the same reason Clone shares it: its timelines are a pure
+// function of (seed, instance ID).
+func (f *Fleet) Snapshot() *Fleet {
+	out := &Fleet{
+		Instances:  make([]*FleetInstance, len(f.Instances)),
+		Revocation: f.Revocation,
+	}
+	for i, inst := range f.Instances {
+		cp := *inst
+		cp.Leases = append([]Lease(nil), inst.Leases...)
+		out.Instances[i] = &cp
+	}
+	return out
+}
+
+// ReleaseFrom cancels every lease that has not started by tSec —
+// reservations for future work — and recomputes each instance's
+// free-time, busy and cost ledgers from the leases that remain. Leases
+// already running at tSec (start < tSec) stand untouched, ends and all:
+// a booked stage runs to completion once started (its checkpoint is the
+// stage boundary). This is the rolling-horizon seam: a re-optimizer
+// releases the uncommitted tail of the schedule and re-books it against
+// the fleet's remaining capacity. It returns the number of leases
+// released.
+func (f *Fleet) ReleaseFrom(tSec float64) int {
+	released := 0
+	for _, inst := range f.Instances {
+		kept := inst.Leases[:0]
+		for _, l := range inst.Leases {
+			if l.StartSec >= tSec {
+				released++
+				continue
+			}
+			kept = append(kept, l)
+		}
+		inst.Leases = kept
+		inst.FreeAtSec = 0
+		inst.BusySec = 0
+		for _, l := range inst.Leases {
+			if l.EndSec > inst.FreeAtSec {
+				inst.FreeAtSec = l.EndSec
+			}
+			inst.BusySec += l.EndSec - l.StartSec
+		}
+		inst.CostUSD = instanceCost(inst)
+	}
+	return released
+}
+
 // TypeByName returns the instance type of the given name present in
 // the fleet — the lookup a retry policy uses to escalate a revoked
 // stage from a spot type to its on-demand counterpart, which only

@@ -233,3 +233,66 @@ func TestFleetProfileAndClone(t *testing.T) {
 		t.Fatalf("clone Acquire granted %d@%g, want 0@0", wantIdx, wantStart)
 	}
 }
+
+func TestSnapshotDeepCopiesLeases(t *testing.T) {
+	f := testFleet(t)
+	f.Book(0, "a", "synthesis", 0, 100)
+	f.Book(2, "b", "placement", 50, 200)
+
+	snap := f.Snapshot()
+	if len(snap.Instances) != len(f.Instances) {
+		t.Fatalf("snapshot has %d instances, want %d", len(snap.Instances), len(f.Instances))
+	}
+	for i, inst := range snap.Instances {
+		orig := f.Instances[i]
+		if inst.ID != orig.ID || inst.FreeAtSec != orig.FreeAtSec ||
+			inst.BusySec != orig.BusySec || inst.CostUSD != orig.CostUSD ||
+			len(inst.Leases) != len(orig.Leases) {
+			t.Fatalf("snapshot instance %d = %+v, want %+v", i, inst, orig)
+		}
+	}
+	// Mutating the snapshot leaves the original untouched.
+	snap.Book(1, "c", "routing", 0, 300)
+	if len(f.Instances[1].Leases) != 0 || f.Instances[1].FreeAtSec != 0 {
+		t.Fatal("booking the snapshot disturbed the original fleet")
+	}
+	// And vice versa.
+	f.Book(0, "d", "sta", 100, 10)
+	if len(snap.Instances[0].Leases) != 1 {
+		t.Fatal("booking the original disturbed the snapshot")
+	}
+}
+
+func TestReleaseFromCancelsFutureLeases(t *testing.T) {
+	f := testFleet(t)
+	f.Book(0, "a", "synthesis", 0, 100)   // running at t=50: stands
+	f.Book(0, "a", "placement", 100, 50)  // starts at 100 >= 50: released
+	f.Book(1, "b", "synthesis", 50, 100)  // starts exactly at 50: released
+	f.Book(2, "c", "synthesis", 10, 20)   // finished before 50: stands
+
+	if n := f.ReleaseFrom(50); n != 2 {
+		t.Fatalf("released %d leases, want 2", n)
+	}
+	i0 := f.Instances[0]
+	if len(i0.Leases) != 1 || i0.FreeAtSec != 100 || i0.BusySec != 100 {
+		t.Fatalf("instance 0 after release: %+v", i0)
+	}
+	if want := i0.Type.Cost(100); math.Abs(i0.CostUSD-want) > 1e-12 {
+		t.Fatalf("instance 0 cost %g, want %g", i0.CostUSD, want)
+	}
+	i1 := f.Instances[1]
+	if len(i1.Leases) != 0 || i1.FreeAtSec != 0 || i1.BusySec != 0 || i1.CostUSD != 0 {
+		t.Fatalf("instance 1 after release: %+v", i1)
+	}
+	i2 := f.Instances[2]
+	if len(i2.Leases) != 1 || i2.FreeAtSec != 30 {
+		t.Fatalf("instance 2 after release: %+v", i2)
+	}
+	// Releasing everything returns the fleet to an unused state.
+	f.ReleaseFrom(0)
+	for i, inst := range f.Instances {
+		if len(inst.Leases) != 0 || inst.FreeAtSec != 0 || inst.BusySec != 0 || inst.CostUSD != 0 {
+			t.Fatalf("instance %d not pristine after ReleaseFrom(0): %+v", i, inst)
+		}
+	}
+}

@@ -118,6 +118,9 @@ func conformanceCases() []conformanceCase {
 		// A tight deadline forces the adaptive policy off-plan, so the
 		// invariants cover its upgrade path, not just plan replay.
 		{name: "adaptive", policy: AdaptivePolicy{}, fleetSpec: "gp.1x=1,gp.8x=1,mem.1x=1,mem.8x=1", jobs: planJobs(120)},
+		// The same pressure exercises the lookahead policy's joint
+		// re-planning (current + remaining stages together).
+		{name: "lookahead", policy: LookaheadPolicy{}, fleetSpec: "gp.1x=1,gp.8x=1,mem.1x=1,mem.8x=1", jobs: planJobs(120)},
 		// Spot cases: the same invariants must survive seeded
 		// revocations, plus the checkpoint-recovery and escalation ones.
 		{name: "spot-first-fit", policy: FirstFit{}, spot: true,

@@ -29,7 +29,12 @@ type ForecastStage struct {
 type ForecastJob struct {
 	Name        string
 	DeadlineSec float64
-	Stages      []ForecastStage
+	// ReadySec is the earliest simulated time the job's first stage may
+	// start — the arrival (or checkpoint) time of a job entering a
+	// rolling-horizon forecast. Zero (the batch case) means ready
+	// immediately.
+	ReadySec float64
+	Stages   []ForecastStage
 	// Retry carries the job's revocation retry policy into the replay,
 	// so a forecast on a revocation-modeled fleet reacts to truncated
 	// leases exactly as the execution will.
@@ -48,15 +53,29 @@ type ForecastJob struct {
 // leases — pass a cloud.Fleet.Clone to keep the real one pristine.
 // The returned Schedule carries no artifacts (JobResult.Run is nil).
 func Forecast(fleet *cloud.Fleet, jobs []ForecastJob) (*Schedule, error) {
+	return ForecastGated(fleet, jobs, nil)
+}
+
+// ForecastGated is Forecast with an admission gate threaded into the
+// placement simulation: every stage booking first passes gate.Admit,
+// which may defer it (see Gate). This is the serving layer's booking
+// path — a rolling-horizon re-plan replayed onto the live fleet under
+// per-tenant quotas. A nil gate admits everything, reproducing
+// Forecast exactly.
+func ForecastGated(fleet *cloud.Fleet, jobs []ForecastJob, gate Gate) (*Schedule, error) {
 	fjobs := make([]Job, len(jobs))
 	prepared := make([]*preparedJob, len(jobs))
 	for i, fj := range jobs {
+		if fj.ReadySec < 0 {
+			return nil, fmt.Errorf("flow: forecast job %q has negative ready time", fj.Name)
+		}
 		fjobs[i] = Job{Name: fj.Name, DeadlineSec: fj.DeadlineSec, Retry: fj.Retry}
 		p := &preparedJob{
 			res:      JobResult{Name: fj.Name},
 			requests: map[JobKind]cloud.InstanceType{},
 			seconds:  map[JobKind]float64{},
 			hold:     fj.Hold,
+			readySec: fj.ReadySec,
 		}
 		for _, st := range fj.Stages {
 			if fj.Hold && st.Type.Name != fj.Stages[0].Type.Name {
@@ -78,7 +97,7 @@ func Forecast(fleet *cloud.Fleet, jobs []ForecastJob) (*Schedule, error) {
 		}
 		prepared[i] = p
 	}
-	simulate(fleet, PlanPolicy{}, fjobs, prepared, false)
+	simulate(fleet, PlanPolicy{}, fjobs, prepared, false, gate)
 	for i := range prepared {
 		if err := prepared[i].res.Err; err != nil {
 			return nil, fmt.Errorf("flow: forecast job %q: %w", jobs[i].Name, err)

@@ -78,3 +78,96 @@ func TestForecastQueueingAndBills(t *testing.T) {
 		t.Fatal("type absent from the fleet accepted")
 	}
 }
+
+// TestForecastReadySec pins the rolling-horizon entry point: a job
+// arriving at T starts no earlier than T, queues FIFO by ready time
+// against earlier arrivals, and measures its wait from its own
+// arrival.
+func TestForecastReadySec(t *testing.T) {
+	catalog := cloud.DefaultCatalog()
+	gp, err := catalog.ByName("gp.2x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := cloud.NewFleet(cloud.FleetEntry{Type: gp, Count: 1})
+	job := func(name string, ready float64) ForecastJob {
+		return ForecastJob{Name: name, ReadySec: ready, Stages: []ForecastStage{
+			{Kind: JobSynthesis, Type: gp, Seconds: 100},
+		}}
+	}
+	sched, err := Forecast(fleet, []ForecastJob{job("a", 0), job("b", 40), job("c", 500)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c := sched.Jobs[0], sched.Jobs[1], sched.Jobs[2]
+	if a.StartSec != 0 || a.FinishSec != 100 {
+		t.Fatalf("job a: %+v", a)
+	}
+	// b arrives at 40, waits for a's machine until 100.
+	if b.StartSec != 100 || b.WaitSec != 60 || b.FinishSec != 200 {
+		t.Fatalf("job b: start=%g wait=%g finish=%g", b.StartSec, b.WaitSec, b.FinishSec)
+	}
+	// c arrives after the machine is idle again: starts on arrival.
+	if c.StartSec != 500 || c.WaitSec != 0 || c.FinishSec != 600 {
+		t.Fatalf("job c: start=%g wait=%g finish=%g", c.StartSec, c.WaitSec, c.FinishSec)
+	}
+	if _, err := Forecast(fleet, []ForecastJob{job("neg", -1)}); err == nil {
+		t.Fatal("negative ready time accepted")
+	}
+}
+
+// deferGate defers every booking of the named job until a fixed time.
+type deferGate struct {
+	job   string
+	until float64
+	asked int
+}
+
+func (g *deferGate) Admit(job *Job, k JobKind, it cloud.InstanceType, startSec, durSec float64) (float64, bool) {
+	g.asked++
+	if job.Name == g.job && startSec < g.until {
+		return g.until, false
+	}
+	return 0, true
+}
+
+// TestForecastGatedDefersStages pins the Gate seam: a gate deferral
+// re-queues the stage (nothing booked) until the deferred ready time,
+// and a nil gate reproduces Forecast exactly.
+func TestForecastGatedDefersStages(t *testing.T) {
+	catalog := cloud.DefaultCatalog()
+	gp, err := catalog.ByName("gp.2x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []ForecastJob{
+		{Name: "a", Stages: []ForecastStage{{Kind: JobSynthesis, Type: gp, Seconds: 100}}},
+		{Name: "b", Stages: []ForecastStage{{Kind: JobSynthesis, Type: gp, Seconds: 100}}},
+	}
+	fleet := cloud.NewFleet(cloud.FleetEntry{Type: gp, Count: 2})
+	gate := &deferGate{job: "b", until: 300}
+	sched, err := ForecastGated(fleet, jobs, gate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := sched.Jobs[0], sched.Jobs[1]
+	if a.StartSec != 0 || a.FinishSec != 100 {
+		t.Fatalf("job a: %+v", a)
+	}
+	// Deferral advances the job's ready time, so wait measures only
+	// queueing after the gate finally admits it — zero here.
+	if b.StartSec != 300 || b.FinishSec != 400 || b.WaitSec != 0 {
+		t.Fatalf("deferred job b: start=%g finish=%g wait=%g", b.StartSec, b.FinishSec, b.WaitSec)
+	}
+	if gate.asked < 3 {
+		t.Fatalf("gate consulted %d times, want the deferral plus re-asks", gate.asked)
+	}
+	// The deferred stage booked nothing before its admitted interval.
+	for _, inst := range sched.Fleet.Instances {
+		for _, l := range inst.Leases {
+			if l.Job == "b" && l.StartSec != 300 {
+				t.Fatalf("job b leaked a lease at %g", l.StartSec)
+			}
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package flow
+
+import (
+	"context"
+	"testing"
+
+	"edacloud/internal/cloud"
+)
+
+// TestLookaheadConformanceUpgrades: the lookahead table entry must
+// actually exercise the joint re-plan path — otherwise the suite is
+// only re-testing PlanPolicy under another name.
+func TestLookaheadConformanceUpgrades(t *testing.T) {
+	var tc conformanceCase
+	for _, c := range conformanceCases() {
+		if c.name == "lookahead" {
+			tc = c
+		}
+	}
+	if tc.name == "" {
+		t.Fatal("no lookahead conformance case")
+	}
+	fleet, err := cloud.ParseFleetSpec(cloud.DefaultCatalog(), tc.fleetSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := tc.jobs(t)
+	sched, err := (&Scheduler{Fleet: fleet, Policy: tc.policy}).Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upgrades := 0
+	for i, j := range sched.Jobs {
+		if j.Err != nil {
+			t.Fatal(j.Err)
+		}
+		for _, st := range j.Stages {
+			if st.Type.Name != jobs[i].Plan[st.Kind].Name {
+				upgrades++
+			}
+		}
+	}
+	if upgrades == 0 {
+		t.Fatal("lookahead conformance case never upgrades; tighten its deadline")
+	}
+}
+
+// TestLookaheadBeatsSingleStageUpgrade pins the reason LookaheadPolicy
+// exists: when the deadline slack is gone but the cheap speedup lives
+// in a LATER stage, upgrading only the stage in hand (AdaptivePolicy)
+// is the expensive fix. The scenario gives synthesis an upgrade that
+// saves 1 s and routing one that saves 4 s against a deadline 3 s
+// short of the planned makespan: adaptive upgrades synthesis first
+// (earliest-finish fallback — it alone cannot meet the deadline) and
+// then routing anyway, paying for both; lookahead's joint enumeration
+// keeps synthesis planned and buys only the routing upgrade. Both must
+// meet the deadline; lookahead must bill strictly less.
+func TestLookaheadBeatsSingleStageUpgrade(t *testing.T) {
+	catalog := cloud.DefaultCatalog()
+	plan, _ := conformancePlan(t)
+	mem8, err := catalog.ByName("mem.8x")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Dry-run the plan uncontended to learn the probed stage runtimes
+	// the scenario is calibrated against.
+	probeJobs := fleetJobs(t, 1)
+	probeJobs[0].Plan = plan
+	probeFleet, err := cloud.ParseFleetSpec(catalog, "gp.1x=1,mem.1x=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, err := (&Scheduler{Fleet: probeFleet, Policy: PlanPolicy{}}).Run(context.Background(), probeJobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secs := map[JobKind]float64{}
+	var total float64
+	for _, st := range probe.Jobs[0].Stages {
+		secs[st.Kind] = st.Seconds
+		total += st.Seconds
+	}
+	if secs[JobSynthesis] <= 1 || secs[JobRouting] <= 4 {
+		t.Fatalf("probed runtimes too short for the scenario: %v", secs)
+	}
+
+	choices := StageChoices{}
+	for k, it := range plan {
+		choices[k] = []StageOption{{Type: it, Seconds: secs[k], CostUSD: it.Cost(secs[k])}}
+	}
+	synUp := secs[JobSynthesis] - 1
+	rtUp := secs[JobRouting] - 4
+	choices[JobSynthesis] = append(choices[JobSynthesis],
+		StageOption{Type: mem8, Seconds: synUp, CostUSD: mem8.Cost(synUp)})
+	choices[JobRouting] = append(choices[JobRouting],
+		StageOption{Type: mem8, Seconds: rtUp, CostUSD: mem8.Cost(rtUp)})
+	deadline := total - 3
+
+	run := func(policy Policy) *Schedule {
+		jobs := fleetJobs(t, 1)
+		jobs[0].Plan = plan
+		jobs[0].Choices = choices
+		jobs[0].DeadlineSec = deadline
+		fleet, err := cloud.ParseFleetSpec(catalog, "gp.1x=1,mem.1x=1,mem.8x=1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched, err := (&Scheduler{Fleet: fleet, Policy: policy}).Run(context.Background(), jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sched.Jobs[0].Err != nil {
+			t.Fatalf("%s: %v", policy.Name(), sched.Jobs[0].Err)
+		}
+		return sched
+	}
+	adaptive := run(AdaptivePolicy{})
+	lookahead := run(LookaheadPolicy{})
+
+	stageType := func(s *Schedule, k JobKind) string {
+		for _, st := range s.Jobs[0].Stages {
+			if st.Kind == k {
+				return st.Type.Name
+			}
+		}
+		return ""
+	}
+	if got := stageType(adaptive, JobSynthesis); got != "mem.8x" {
+		t.Fatalf("adaptive ran synthesis on %s, want the mem.8x upgrade", got)
+	}
+	if got := stageType(adaptive, JobRouting); got != "mem.8x" {
+		t.Fatalf("adaptive ran routing on %s, want the mem.8x upgrade", got)
+	}
+	if got := stageType(lookahead, JobSynthesis); got != "gp.1x" {
+		t.Fatalf("lookahead ran synthesis on %s, want the planned gp.1x kept", got)
+	}
+	if got := stageType(lookahead, JobRouting); got != "mem.8x" {
+		t.Fatalf("lookahead ran routing on %s, want the mem.8x upgrade", got)
+	}
+	if f := adaptive.Jobs[0].FinishSec; f > deadline {
+		t.Fatalf("adaptive missed the deadline: finish %g > %g", f, deadline)
+	}
+	if f := lookahead.Jobs[0].FinishSec; f > deadline {
+		t.Fatalf("lookahead missed the deadline: finish %g > %g", f, deadline)
+	}
+	if lookahead.TotalCostUSD >= adaptive.TotalCostUSD {
+		t.Fatalf("lookahead bill %g not below adaptive bill %g",
+			lookahead.TotalCostUSD, adaptive.TotalCostUSD)
+	}
+}

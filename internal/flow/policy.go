@@ -120,6 +120,37 @@ func (AdaptivePolicy) Choose(job *Job, k JobKind) (cloud.InstanceType, error) {
 // ReInstance implements Policy: one lease per stage.
 func (AdaptivePolicy) ReInstance() bool { return true }
 
+// LookaheadPolicy is AdaptivePolicy's joint-re-planning variant: when
+// queue wait has eaten a job's deadline slack it re-plans the current
+// AND remaining stages together — enumerating the choice tables'
+// cross product for the cheapest combination that still projects to
+// meet the deadline — instead of upgrading only the stage in hand.
+// Upgrading one stage can be the expensive fix when a later stage
+// holds the cheap speedup; the joint re-plan finds it. Re-picked
+// remaining stages are remembered and honored at their own placements
+// (and may be re-planned again if slack keeps evaporating). Jobs
+// without a deadline or a choice table degrade to plan execution.
+// Decisions read only the serial placement simulation's fleet state,
+// so schedules stay bit-identical at any worker count.
+type LookaheadPolicy struct{}
+
+// Name implements Policy.
+func (LookaheadPolicy) Name() string { return "lookahead" }
+
+// Choose implements Policy: the job's plan entry is what each stage
+// nominally queues for; joint re-plans happen later, inside the
+// placement simulation.
+func (LookaheadPolicy) Choose(job *Job, k JobKind) (cloud.InstanceType, error) {
+	it, ok := job.Plan[k]
+	if !ok {
+		return cloud.InstanceType{}, fmt.Errorf("flow: job %q has no plan entry for stage %s", job.Name, k)
+	}
+	return it, nil
+}
+
+// ReInstance implements Policy: one lease per stage.
+func (LookaheadPolicy) ReInstance() bool { return true }
+
 // FirstFit is the greedy baseline: every stage queues for whichever
 // fleet instance becomes free earliest, whatever its type, and the job
 // re-instances between stages. It exploits the whole fleet but ignores

@@ -48,6 +48,13 @@ type runner struct {
 	// doneSec remembers each completed stage's runtime so a
 	// from-scratch restart can account the work it throws away.
 	doneSec []float64
+	// override re-targets stages to instance types the look-ahead
+	// policy jointly re-picked when queue wait ate the job's slack; nil
+	// until the first joint re-plan. Overrides take precedence over the
+	// prepared requests but deliberately do not replace them, so
+	// stageSeconds still prices an overridden stage off the job's
+	// choice table (the same semantics as an adaptive upgrade).
+	override map[JobKind]cloud.InstanceType
 
 	started  bool
 	startSec float64
@@ -63,13 +70,33 @@ const (
 	// stageRevoked: the stage was cut by a revocation; the runner is
 	// re-queued at its backoff-adjusted ready time, stage unchanged.
 	stageRevoked
+	// stageDeferred: an admission gate pushed the stage's start past
+	// its grant; the runner re-enters the queue at the deferred ready
+	// time, stage unchanged, nothing booked.
+	stageDeferred
 	// stageFailed: the job failed (acquisition error or attempt cap).
 	stageFailed
 )
 
+// Gate is an admission hook into the placement simulation: before a
+// stage books the instance the fleet granted it, the gate may defer it
+// — a multi-tenant quota on concurrent fleet spend, for example. Admit
+// sees the grant (job, stage, instance type, start, duration) and
+// either admits it (ok true; the booking follows immediately, so a
+// stateful gate should record the interval) or defers the stage until
+// deferUntil, when it re-enters the FIFO queue and asks again. A
+// deferUntil at or before the stage's current ready time is ignored
+// and the stage books anyway — the progress guarantee that makes a
+// gated simulation always terminate. Gates must be pure functions of
+// the serial simulation state to preserve bit-determinism.
+type Gate interface {
+	Admit(job *Job, k JobKind, it cloud.InstanceType, startSec, durSec float64) (deferUntil float64, ok bool)
+}
+
 // simulate places every prepared job's stages onto the fleet and fills
-// in the placement fields of each preparedJob's result.
-func simulate(fleet *cloud.Fleet, policy Policy, jobs []Job, prepared []*preparedJob, pinned bool) {
+// in the placement fields of each preparedJob's result. A nil gate
+// admits everything.
+func simulate(fleet *cloud.Fleet, policy Policy, jobs []Job, prepared []*preparedJob, pinned bool, gate Gate) {
 	var queue []*runner
 	for i := range prepared {
 		if prepared[i].res.Err != nil {
@@ -82,6 +109,7 @@ func simulate(fleet *cloud.Fleet, policy Policy, jobs []Job, prepared []*prepare
 		n := len(prepared[i].kinds)
 		r := &runner{
 			p: prepared[i], job: &jobs[i], held: -1, pinned: -1,
+			ready:      prepared[i].readySec,
 			reinstance: policy.ReInstance() && !prepared[i].hold,
 			attempts:   make([]int, n),
 			revs:       make([]int, n),
@@ -104,14 +132,14 @@ func simulate(fleet *cloud.Fleet, policy Policy, jobs []Job, prepared []*prepare
 			}
 		}
 		r := queue[best]
-		out := placeNext(fleet, policy, r)
+		out := placeNext(fleet, policy, r, gate)
 		// A job holding its machine runs its whole flow back to back:
 		// nothing can use the held instance in between, so placing the
 		// remaining stages now keeps the fleet timeline conflict-free.
 		// A revocation breaks the streak — the machine is gone and the
 		// job re-queues FIFO like everyone else.
 		for out == stagePlaced && !r.reinstance && r.stage < len(r.p.kinds) {
-			out = placeNext(fleet, policy, r)
+			out = placeNext(fleet, policy, r, gate)
 		}
 		if out == stageFailed || r.stage == len(r.p.kinds) {
 			finalize(&r.p.res, r.job, fleet, r)
@@ -126,9 +154,12 @@ func simulate(fleet *cloud.Fleet, policy Policy, jobs []Job, prepared []*prepare
 // truncated at a revocation produces stageRevoked: the attempt's
 // survived time is recorded as lost work and the stage re-enters the
 // queue under the job's RetryPolicy.
-func placeNext(fleet *cloud.Fleet, policy Policy, r *runner) placement {
+func placeNext(fleet *cloud.Fleet, policy Policy, r *runner, gate Gate) placement {
 	k := r.p.kinds[r.stage]
 	req := r.p.requests[k]
+	if o, ok := r.override[k]; ok {
+		req = o
+	}
 	retry := r.job.Retry.withDefaults()
 
 	// Escalation: after enough revocations of this stage, request the
@@ -155,6 +186,9 @@ func placeNext(fleet *cloud.Fleet, policy Policy, r *runner) placement {
 		if _, ok := policy.(AdaptivePolicy); ok {
 			req = adaptiveRequest(fleet, r, k, req)
 		}
+		if _, ok := policy.(LookaheadPolicy); ok {
+			req = lookaheadRequest(fleet, r, k, req)
+		}
 		var err error
 		instIdx, start, err = fleet.Acquire(req.Name, r.ready)
 		if err != nil {
@@ -165,6 +199,12 @@ func placeNext(fleet *cloud.Fleet, policy Policy, r *runner) placement {
 	inst := fleet.Instances[instIdx]
 
 	dur := r.p.stageSeconds(r.job, k, inst.Type)
+	if gate != nil && r.held < 0 {
+		if deferUntil, ok := gate.Admit(r.job, k, inst.Type, start, dur); !ok && deferUntil > r.ready {
+			r.ready = deferUntil
+			return stageDeferred
+		}
+	}
 	r.attempts[r.stage]++
 	var cost float64
 	var li int
@@ -318,6 +358,161 @@ func adaptiveRequest(fleet *cloud.Fleet, r *runner, k JobKind, planned cloud.Ins
 		}
 	}
 	return projections[best].opt.Type
+}
+
+// laOption is one candidate (type, projected runtime, table cost) for
+// one stage of a look-ahead joint re-plan.
+type laOption struct {
+	t    cloud.InstanceType
+	sec  float64
+	cost float64
+}
+
+// lookaheadOptions lists stage kk's candidates for the joint re-plan:
+// the job's choice-table entries the fleet can actually supply, priced
+// and timed the same way an adaptive upgrade would be (stageSeconds,
+// table cost). A stage with no usable table entries is fixed to its
+// current request at zero marginal cost — constant across combos, so
+// it never skews the comparison.
+func lookaheadOptions(fleet *cloud.Fleet, r *runner, kk JobKind, req cloud.InstanceType) []laOption {
+	var opts []laOption
+	for _, opt := range r.job.Choices[kk] {
+		if _, ok := fleet.TypeByName(opt.Type.Name); !ok {
+			continue
+		}
+		opts = append(opts, laOption{
+			t:    opt.Type,
+			sec:  r.p.stageSeconds(r.job, kk, opt.Type),
+			cost: opt.CostUSD,
+		})
+	}
+	if len(opts) == 0 {
+		opts = append(opts, laOption{t: req, sec: r.p.stageSeconds(r.job, kk, req)})
+	}
+	return opts
+}
+
+// lookaheadRequest is the LookaheadPolicy's placement-time half: like
+// adaptiveRequest it lets the planned pick stand while its projected
+// finish still meets the deadline, but once queue wait has eaten the
+// slack it re-plans the current AND remaining stages jointly —
+// enumerating the choice tables' cross product for the cheapest
+// combination that projects to meet the deadline (or, failing that,
+// the earliest-finishing one) — instead of upgrading only the current
+// stage. The re-picked remaining stages are recorded as overrides the
+// later placements honor (and may re-plan again if slack evaporates
+// further). Projections probe Acquire for the current stage only and
+// assume the remaining stages run back-to-back, the same optimistic
+// model the adaptive policy uses, so the decision stays a pure
+// function of the serial simulation state.
+func lookaheadRequest(fleet *cloud.Fleet, r *runner, k JobKind, planned cloud.InstanceType) cloud.InstanceType {
+	job := r.job
+	if job.DeadlineSec <= 0 || len(job.Choices[k]) == 0 {
+		return planned
+	}
+	rest := r.p.kinds[r.stage+1:]
+	curReq := func(kk JobKind) cloud.InstanceType {
+		if o, ok := r.override[kk]; ok {
+			return o
+		}
+		return r.p.requests[kk]
+	}
+
+	// The current picks stand while they still project to meet the
+	// deadline — the knapsack already made them cost-optimal.
+	if _, start, err := fleet.Acquire(planned.Name, r.ready); err == nil {
+		finish := start + r.p.stageSeconds(job, k, planned)
+		for _, kk := range rest {
+			finish += r.p.stageSeconds(job, kk, curReq(kk))
+		}
+		if finish <= job.DeadlineSec {
+			return planned
+		}
+	}
+
+	// Joint enumeration. The current stage's start is probed per type;
+	// remaining stages contribute runtime and table cost only.
+	type curOption struct {
+		laOption
+		start float64
+	}
+	var heads []curOption
+	for _, opt := range lookaheadOptions(fleet, r, k, planned) {
+		_, start, err := fleet.Acquire(opt.t.Name, r.ready)
+		if err != nil {
+			continue
+		}
+		heads = append(heads, curOption{opt, start})
+	}
+	if len(heads) == 0 {
+		return planned
+	}
+	tails := make([][]laOption, len(rest))
+	combos := len(heads)
+	for i, kk := range rest {
+		tails[i] = lookaheadOptions(fleet, r, kk, curReq(kk))
+		combos *= len(tails[i])
+	}
+	if combos > 1<<16 {
+		return adaptiveRequest(fleet, r, k, planned) // degrade to single-stage upgrade
+	}
+
+	// Scan the cross product in table order; strict improvement keeps
+	// the earliest (smallest-instance) combination on ties.
+	idx := make([]int, len(tails))
+	bestMeets := false
+	var bestCost, bestFinish float64
+	var bestHead cloud.InstanceType
+	var bestTail []laOption
+	for h := range heads {
+		for {
+			finish := heads[h].start + heads[h].sec
+			cost := heads[h].cost
+			for i := range tails {
+				finish += tails[i][idx[i]].sec
+				cost += tails[i][idx[i]].cost
+			}
+			meets := finish <= job.DeadlineSec
+			better := false
+			switch {
+			case bestHead.Name == "":
+				better = true
+			case meets && !bestMeets:
+				better = true
+			case meets == bestMeets && meets && cost < bestCost:
+				better = true
+			case meets == bestMeets && !meets && finish < bestFinish:
+				better = true
+			}
+			if better {
+				bestMeets, bestCost, bestFinish = meets, cost, finish
+				bestHead = heads[h].t
+				bestTail = make([]laOption, len(tails))
+				for i := range tails {
+					bestTail[i] = tails[i][idx[i]]
+				}
+			}
+			// Advance the mixed-radix tail counter.
+			i := len(idx) - 1
+			for ; i >= 0; i-- {
+				idx[i]++
+				if idx[i] < len(tails[i]) {
+					break
+				}
+				idx[i] = 0
+			}
+			if i < 0 {
+				break
+			}
+		}
+	}
+	if r.override == nil {
+		r.override = map[JobKind]cloud.InstanceType{}
+	}
+	for i, kk := range rest {
+		r.override[kk] = bestTail[i].t
+	}
+	return bestHead
 }
 
 // finalize fills a job result's schedule aggregates once its last

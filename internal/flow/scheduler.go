@@ -196,6 +196,10 @@ type preparedJob struct {
 	// under a re-instancing policy — the forecast-side mirror of a
 	// SingleInstance execution (ForecastJob.Hold).
 	hold bool
+	// readySec is the earliest simulated time the job's first stage may
+	// start — the arrival time of a job entering a rolling-horizon
+	// forecast (ForecastJob.ReadySec). Zero for batch runs.
+	readySec float64
 }
 
 // stageSeconds predicts stage k's runtime on instance type it. Order
@@ -252,7 +256,7 @@ func (s *Scheduler) Run(ctx context.Context, jobs []Job) (*Schedule, error) {
 	// i is pinned to instance i, reproducing the historical
 	// one-job-one-instance schedule exactly.
 	pinned := s.Fleet == nil
-	simulate(fleet, policy, jobs, prepared, pinned)
+	simulate(fleet, policy, jobs, prepared, pinned, nil)
 
 	return buildSchedule(policy.Name(), fleet, prepared), ctx.Err()
 }

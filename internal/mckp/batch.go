@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"edacloud/internal/par"
 )
 
 // This file is the batch-level formulation of the deployment problem:
@@ -29,6 +31,11 @@ type BatchJob struct {
 	// measured against its predicted finish time under contention
 	// (queueing included); 0 means none.
 	DeadlineSec int
+	// ReadySec is the earliest second the job may start — the arrival
+	// (or checkpoint) time of a job entering a rolling-horizon re-solve.
+	// The zero value reproduces the one-shot batch exactly: every job
+	// ready at time zero, the DP budget the full deadline.
+	ReadySec int
 	// Hold marks a job executed under the holding policy (flow's
 	// SingleInstance): one machine leased once and kept across every
 	// stage. Its selection is then constrained to a single label — the
@@ -72,9 +79,36 @@ type BatchSelection struct {
 	// independent solution already won.
 	Prices map[string]float64
 	// Rounds counts price-adjustment iterations run; Method names the
-	// winning candidate ("independent", "priced", "round-robin").
+	// winning candidate ("independent", "warm", "priced", "round-robin").
 	Rounds int
 	Method string
+	// FinalPrices is the price vector after the last adjustment round,
+	// whichever candidate won — the warm-start carrier a rolling-horizon
+	// caller feeds back through BatchState.Prices at the next event.
+	FinalPrices map[string]float64
+}
+
+// BatchState carries warm-start state into BatchOptimizeState — the
+// incremental re-solve a rolling-horizon serving layer runs at every
+// arrival/completion event. The zero value reproduces BatchOptimize
+// exactly.
+type BatchState struct {
+	// FreeAtSec seeds the schedule estimator's per-label machine pools
+	// with initial free times (absolute seconds, in the fleet's
+	// within-label instance order) — capacity already committed to
+	// in-flight work. Missing labels (or entries beyond a label's
+	// capacity) default to 0 (free now); extra entries are ignored.
+	FreeAtSec map[string][]int
+	// Prices warm-starts the Lagrangian shadow prices from a previous
+	// solve: consecutive events see nearly the same congestion, so the
+	// loop converges in a round or two instead of starting cold.
+	Prices map[string]float64
+	// Rounds bounds the price-adjustment iterations; 0 means the
+	// default 8. Warm-started re-solves typically pass 1 or 2.
+	Rounds int
+	// Workers bounds how many per-job DP solves run concurrently per
+	// round; 0 means GOMAXPROCS. Results are identical for every value.
+	Workers int
 }
 
 // batchValidate checks the batch inputs: non-empty jobs and capacity,
@@ -94,6 +128,9 @@ func batchValidate(jobs []BatchJob, capacity Capacity) error {
 	for _, job := range jobs {
 		if job.DeadlineSec < 0 {
 			return fmt.Errorf("mckp: job %q has negative deadline", job.Name)
+		}
+		if job.ReadySec < 0 {
+			return fmt.Errorf("mckp: job %q has negative ready time", job.Name)
 		}
 		if err := validate(job.Classes, 0); err != nil {
 			return fmt.Errorf("mckp: job %q: %w", job.Name, err)
@@ -216,12 +253,17 @@ func holdSolve(job BatchJob, prices map[string]float64) (Selection, error) {
 	return best, nil
 }
 
-// effectiveDeadline is the DP budget for one job: its own deadline, or
-// — deadline-free jobs — the slowest possible plan, which every
-// selection fits under.
+// effectiveDeadline is the DP budget for one job: the busy time its
+// deadline leaves after its ready time (a job cannot start earlier, so
+// at most deadline-ready seconds of work fit), or — deadline-free jobs
+// — the slowest possible plan, which every selection fits under.
 func effectiveDeadline(job BatchJob) int {
 	if job.DeadlineSec > 0 {
-		return job.DeadlineSec
+		budget := job.DeadlineSec - job.ReadySec
+		if budget < 0 {
+			budget = 0
+		}
+		return budget
 	}
 	slowest := 0
 	for _, cl := range job.Classes {
@@ -269,11 +311,21 @@ func pricedSolve(job BatchJob, prices map[string]float64) (Selection, error) {
 }
 
 // capacityPools seeds the estimator's per-label machine free-time
-// pools from the capacity profile.
-func capacityPools(capacity Capacity) map[string][]int {
+// pools from the capacity profile, pre-loaded with any committed
+// free-at times (nil freeAt means every machine free at 0).
+func capacityPools(capacity Capacity, freeAt map[string][]int) map[string][]int {
 	pools := map[string][]int{}
 	for label, n := range capacity {
-		pools[label] = make([]int, n)
+		pool := make([]int, n)
+		for i, t := range freeAt[label] {
+			if i >= n {
+				break
+			}
+			if t > 0 {
+				pool[i] = t
+			}
+		}
+		pools[label] = pool
 	}
 	return pools
 }
@@ -304,8 +356,8 @@ func (c *candidate) better(o *candidate) bool {
 }
 
 // evaluate fills a candidate's schedule estimate and score fields.
-func (c *candidate) evaluate(jobs []BatchJob, capacity Capacity) (busy, wait map[string]int) {
-	ests, span, busy, wait := batchEstimate(jobs, c.picks, capacity)
+func (c *candidate) evaluate(jobs []BatchJob, capacity Capacity, freeAt map[string][]int) (busy, wait map[string]int) {
+	ests, span, busy, wait := batchEstimate(jobs, c.picks, capacity, freeAt)
 	c.ests, c.span = ests, span
 	c.cost, c.missed = 0, 0
 	for i, sel := range c.sels {
@@ -326,20 +378,20 @@ func (c *candidate) evaluate(jobs []BatchJob, capacity Capacity) (busy, wait map
 // machine of its label (ties toward the lower machine index). It
 // returns the per-job estimates, the makespan, and per-label busy and
 // wait totals — the congestion signal the price loop feeds on.
-func batchEstimate(jobs []BatchJob, picks [][]int, capacity Capacity) (ests []JobEstimate, makespan int, busy, wait map[string]int) {
+func batchEstimate(jobs []BatchJob, picks [][]int, capacity Capacity, freeAt map[string][]int) (ests []JobEstimate, makespan int, busy, wait map[string]int) {
 	type runner struct {
 		job   int
 		stage int
 		ready int
 	}
-	free := capacityPools(capacity)
+	free := capacityPools(capacity, freeAt)
 	busy = map[string]int{}
 	wait = map[string]int{}
 	ests = make([]JobEstimate, len(jobs))
 	var queue []*runner
 	for i := range jobs {
 		if len(jobs[i].Classes) > 0 {
-			queue = append(queue, &runner{job: i})
+			queue = append(queue, &runner{job: i, ready: jobs[i].ReadySec})
 		}
 	}
 	started := make([]bool, len(jobs))
@@ -433,23 +485,43 @@ func batchEstimate(jobs []BatchJob, picks [][]int, capacity Capacity) (ests []Jo
 // independent plans miss — deadline-free, the bound is unconditional
 // (the tested property).
 func BatchOptimize(jobs []BatchJob, capacity Capacity) (BatchSelection, error) {
+	return BatchOptimizeState(jobs, capacity, BatchState{})
+}
+
+// BatchOptimizeState is BatchOptimize with explicit warm-start state —
+// the incremental form a rolling-horizon re-optimizer calls at every
+// arrival/completion event: committed capacity seeds the estimator's
+// machine pools, the previous event's shadow prices seed the Lagrangian
+// loop, and the round budget shrinks because consecutive events see
+// nearly the same congestion. The zero state reproduces BatchOptimize
+// exactly; per-job DP solves within a round fan out across
+// st.Workers with results identical for any worker count.
+func BatchOptimizeState(jobs []BatchJob, capacity Capacity, st BatchState) (BatchSelection, error) {
 	if err := batchValidate(jobs, capacity); err != nil {
 		return BatchSelection{}, err
 	}
 
+	pool := par.Fixed(st.Workers)
+	type solved struct {
+		sel Selection
+		err error
+	}
 	solve := func(method string, prices map[string]float64, round int) (*candidate, error) {
 		c := &candidate{method: method, prices: prices, round: round,
 			picks: make([][]int, len(jobs)), sels: make([]Selection, len(jobs))}
-		for i, job := range jobs {
-			sel, err := pricedSolve(job, prices)
-			if err != nil {
-				return nil, err
+		results := par.Map(pool, len(jobs), func(i int) solved {
+			sel, err := pricedSolve(jobs[i], prices)
+			return solved{sel, err}
+		})
+		for i, r := range results {
+			if r.err != nil {
+				return nil, r.err
 			}
-			if !sel.Feasible {
+			if !r.sel.Feasible {
 				return nil, nil // this pricing starves a job; skip the candidate
 			}
-			c.sels[i] = sel
-			c.picks[i] = sel.Pick
+			c.sels[i] = r.sel
+			c.picks[i] = r.sel.Pick
 		}
 		return c, nil
 	}
@@ -464,14 +536,15 @@ func BatchOptimize(jobs []BatchJob, capacity Capacity) (BatchSelection, error) {
 	if base == nil {
 		return BatchSelection{Feasible: false, Jobs: make([]Selection, len(jobs))}, nil
 	}
-	baseBusy, baseWait := base.evaluate(jobs, capacity)
+	baseBusy, baseWait := base.evaluate(jobs, capacity, st.FreeAtSec)
 	bestCand := base
 
-	// Price loop: shadow prices start at zero and chase congestion.
-	// The unit price is the batch's average dollar-per-busy-second, so
-	// a label whose queue wait equals its busy time roughly doubles in
-	// apparent cost — enough to push marginal jobs to their next-best
-	// type without drowning the true prices.
+	// Price loop: shadow prices start at zero (or the caller's warm
+	// vector) and chase congestion. The unit price is the batch's
+	// average dollar-per-busy-second, so a label whose queue wait equals
+	// its busy time roughly doubles in apparent cost — enough to push
+	// marginal jobs to their next-best type without drowning the true
+	// prices.
 	labels := make([]string, 0, len(capacity))
 	for label := range capacity {
 		labels = append(labels, label)
@@ -485,9 +558,29 @@ func BatchOptimize(jobs []BatchJob, capacity Capacity) (BatchSelection, error) {
 	if busyTotal > 0 {
 		unit = base.cost / float64(busyTotal)
 	}
-	const rounds = 8
+	rounds := st.Rounds
+	if rounds <= 0 {
+		rounds = 8
+	}
 	prices := map[string]float64{}
 	busy, wait := baseBusy, baseWait
+	if len(st.Prices) > 0 && unit > 0 {
+		// Warm start: re-solve under the previous event's prices before
+		// adjusting, so one round suffices when congestion is unchanged.
+		for label, p := range st.Prices {
+			prices[label] = p
+		}
+		warm, err := solve("warm", prices, 0)
+		if err != nil {
+			return BatchSelection{}, err
+		}
+		if warm != nil {
+			busy, wait = warm.evaluate(jobs, capacity, st.FreeAtSec)
+			if warm.better(bestCand) {
+				bestCand = warm
+			}
+		}
+	}
 	roundsRun := 0
 	for round := 1; round <= rounds && unit > 0; round++ {
 		congested := false
@@ -517,7 +610,7 @@ func BatchOptimize(jobs []BatchJob, capacity Capacity) (BatchSelection, error) {
 		if cand == nil {
 			break // pricing made some job infeasible; stop escalating
 		}
-		busy, wait = cand.evaluate(jobs, capacity)
+		busy, wait = cand.evaluate(jobs, capacity, st.FreeAtSec)
 		if cand.better(bestCand) {
 			bestCand = cand
 		}
@@ -528,7 +621,7 @@ func BatchOptimize(jobs []BatchJob, capacity Capacity) (BatchSelection, error) {
 	// every single-stage re-pick, keeping the move that most improves
 	// (missed, job finish, cost). Bounded by the total item count so it
 	// always terminates.
-	repaired := repairMisses(jobs, capacity, bestCand)
+	repaired := repairMisses(jobs, capacity, st.FreeAtSec, bestCand)
 	if repaired != nil && repaired.better(bestCand) {
 		bestCand = repaired
 	}
@@ -542,6 +635,7 @@ func BatchOptimize(jobs []BatchJob, capacity Capacity) (BatchSelection, error) {
 		Prices:      bestCand.prices,
 		Rounds:      roundsRun,
 		Method:      bestCand.method,
+		FinalPrices: prices,
 	}
 	if out.Prices == nil {
 		out.Prices = map[string]float64{}
@@ -558,7 +652,7 @@ func BatchOptimize(jobs []BatchJob, capacity Capacity) (BatchSelection, error) {
 // candidate, repeatedly re-pick one stage of the worst deadline-missing
 // job until no move improves the estimate. Returns nil when the start
 // already meets every deadline.
-func repairMisses(jobs []BatchJob, capacity Capacity, start *candidate) *candidate {
+func repairMisses(jobs []BatchJob, capacity Capacity, freeAt map[string][]int, start *candidate) *candidate {
 	if start.missed == 0 {
 		return nil
 	}
@@ -568,7 +662,7 @@ func repairMisses(jobs []BatchJob, capacity Capacity, start *candidate) *candida
 		cur.picks[i] = append([]int(nil), start.picks[i]...)
 		cur.sels[i] = start.sels[i]
 	}
-	cur.evaluate(jobs, capacity)
+	cur.evaluate(jobs, capacity, freeAt)
 
 	budget := 0
 	for _, job := range jobs {
@@ -604,7 +698,7 @@ func repairMisses(jobs []BatchJob, capacity Capacity, start *candidate) *candida
 			if trial.sels[worst].TotalTime > effectiveDeadline(jobs[worst]) {
 				return // busy time alone already blows the budget
 			}
-			trial.evaluate(jobs, capacity)
+			trial.evaluate(jobs, capacity, freeAt)
 			if trial.missed < cur.missed ||
 				(trial.missed == cur.missed && trial.ests[worst].FinishSec < cur.ests[worst].FinishSec) {
 				if bestMove == nil || trial.better(bestMove) {

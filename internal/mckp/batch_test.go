@@ -76,7 +76,7 @@ func TestQuickBatchCostNeverExceedsIndependent(t *testing.T) {
 		for i := range batch.Jobs {
 			batchPicks[i] = batch.Jobs[i].Pick
 		}
-		ests, span, _, _ := batchEstimate(jobs, batchPicks, capacity)
+		ests, span, _, _ := batchEstimate(jobs, batchPicks, capacity, nil)
 		if span != batch.MakespanSec {
 			t.Fatalf("seed %d: re-estimated makespan %d vs %d", seed, span, batch.MakespanSec)
 		}
@@ -126,7 +126,7 @@ func TestBatchSpreadsContendedDeadlines(t *testing.T) {
 	// The independent plans both pick "a": serialized, job 1 finishes at
 	// 20 and misses its 15 s deadline — the gap the batch closes.
 	indep := [][]int{{0}, {0}}
-	ests, span, _, _ := batchEstimate(jobs, indep, capacity)
+	ests, span, _, _ := batchEstimate(jobs, indep, capacity, nil)
 	if span != 20 || ests[1].FinishSec != 20 || ests[1].WaitSec != 10 {
 		t.Fatalf("independent estimate: span=%d ests=%+v", span, ests)
 	}
@@ -257,5 +257,145 @@ func TestSelectionExportEmptyClasses(t *testing.T) {
 	classes := []Class{{Name: "hollow"}}
 	if _, err := (Selection{Feasible: true, Pick: []int{0}}).Export(classes); err == nil {
 		t.Fatal("itemless class exported")
+	}
+}
+
+// TestBatchStateZeroValueMatchesBatchOptimize pins the warm-start
+// API's compatibility contract: BatchOptimizeState with a zero state
+// reproduces BatchOptimize exactly — same picks, totals, estimates,
+// method, rounds — over 25 seeded random batches, at several worker
+// counts.
+func TestBatchStateZeroValueMatchesBatchOptimize(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		jobs, capacity := randomBatch(rng)
+		want, err := BatchOptimize(jobs, capacity)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, workers := range []int{1, 2, 8} {
+			got, err := BatchOptimizeState(jobs, capacity, BatchState{Workers: workers})
+			if err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+			}
+			if got.TotalCost != want.TotalCost || got.MakespanSec != want.MakespanSec ||
+				got.Method != want.Method || got.Rounds != want.Rounds ||
+				got.MissedDeadlines != want.MissedDeadlines {
+				t.Fatalf("seed %d workers %d: got %+v, want %+v", seed, workers, got, want)
+			}
+			for i := range want.Jobs {
+				for l, j := range want.Jobs[i].Pick {
+					if got.Jobs[i].Pick[l] != j {
+						t.Fatalf("seed %d workers %d: job %d pick diverges", seed, workers, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchReadySecShiftsSchedule pins the ReadySec semantics: a job
+// ready at T starts no earlier than T, its estimate reports absolute
+// times, and its DP budget is the residue deadline-ready (a deadline
+// leaving less busy time than the fastest plan is infeasible).
+func TestBatchReadySecShiftsSchedule(t *testing.T) {
+	classes := []Class{{Name: "syn", Items: []Item{
+		{Label: "gp", TimeSec: 100, Cost: 1},
+		{Label: "gp", TimeSec: 50, Cost: 5},
+	}}}
+	capacity := Capacity{"gp": 1}
+
+	sel, err := BatchOptimize([]BatchJob{
+		{Name: "late", Classes: classes, ReadySec: 200, DeadlineSec: 320},
+	}, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sel.Feasible || sel.MissedDeadlines != 0 {
+		t.Fatalf("selection = %+v", sel)
+	}
+	est := sel.Estimates[0]
+	if est.StartSec != 200 || est.FinishSec != 300 {
+		t.Fatalf("estimate = %+v, want start 200 finish 300", est)
+	}
+	// Budget 320-200=120 admits the 100s item; 140 would admit only it
+	// too, but 130-... shrink the deadline so only the 50s item fits.
+	sel, err = BatchOptimize([]BatchJob{
+		{Name: "tight", Classes: classes, ReadySec: 200, DeadlineSec: 260},
+	}, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sel.Feasible {
+		t.Fatal("tight job should remain feasible via the faster item")
+	}
+	if got := sel.Jobs[0].Pick[0]; got != 1 {
+		t.Fatalf("tight job picked item %d, want the 50s upgrade (1)", got)
+	}
+	// A deadline already blown by the ready time is infeasible.
+	sel, err = BatchOptimize([]BatchJob{
+		{Name: "doomed", Classes: classes, ReadySec: 200, DeadlineSec: 210},
+	}, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Feasible {
+		t.Fatal("doomed job should be infeasible")
+	}
+}
+
+// TestBatchFreeAtSeedsCommittedCapacity pins the FreeAtSec seeding: a
+// machine committed until T delays work queued on it, exactly like a
+// lease the estimator cannot see otherwise.
+func TestBatchFreeAtSeedsCommittedCapacity(t *testing.T) {
+	classes := []Class{{Name: "syn", Items: []Item{{Label: "gp", TimeSec: 60, Cost: 1}}}}
+	jobs := []BatchJob{{Name: "a", Classes: classes}}
+	sel, err := BatchOptimizeState(jobs, Capacity{"gp": 2},
+		BatchState{FreeAtSec: map[string][]int{"gp": {500, 90}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Earliest-free: machine 1 frees at 90, machine 0 at 500.
+	if est := sel.Estimates[0]; est.StartSec != 90 || est.FinishSec != 150 {
+		t.Fatalf("estimate = %+v, want start 90 finish 150", est)
+	}
+	// Extra seed entries beyond capacity are ignored; missing mean free.
+	sel, err = BatchOptimizeState(jobs, Capacity{"gp": 2},
+		BatchState{FreeAtSec: map[string][]int{"gp": {500, 90, 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est := sel.Estimates[0]; est.StartSec != 90 {
+		t.Fatalf("estimate = %+v, want start 90", est)
+	}
+}
+
+// TestBatchWarmPricesCarry pins the warm-start loop: FinalPrices is
+// always populated, and feeding it back with a one-round budget keeps
+// the solution at least as good as the cold independent baseline (the
+// independent candidate stays in the running).
+func TestBatchWarmPricesCarry(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed + 100))
+		jobs, capacity := randomBatch(rng)
+		cold, err := BatchOptimize(jobs, capacity)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if cold.FinalPrices == nil {
+			t.Fatalf("seed %d: FinalPrices nil", seed)
+		}
+		warm, err := BatchOptimizeState(jobs, capacity,
+			BatchState{Prices: cold.FinalPrices, Rounds: 1})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !warm.Feasible {
+			t.Fatalf("seed %d: warm re-solve infeasible", seed)
+		}
+		// Deadline-free: the independent candidate bounds both.
+		if warm.TotalCost > cold.TotalCost+1e-9 {
+			t.Fatalf("seed %d: warm cost %g exceeds cold %g", seed, warm.TotalCost, cold.TotalCost)
+		}
 	}
 }

@@ -69,7 +69,7 @@ func TestHoldEstimateBackToBack(t *testing.T) {
 	jobs := []BatchJob{holdJob("held", 0, true), holdJob("rival", 0, false)}
 	capacity := Capacity{"cheap": 1, "fast": 1}
 	picks := [][]int{{0, 0}, {0, 0}} // both jobs want the one cheap machine
-	ests, span, busy, _ := batchEstimate(jobs, picks, capacity)
+	ests, span, busy, _ := batchEstimate(jobs, picks, capacity, nil)
 
 	// The held job runs 0..300 uninterrupted; the rival queues behind
 	// the whole job, not behind its first stage.
@@ -85,7 +85,7 @@ func TestHoldEstimateBackToBack(t *testing.T) {
 
 	// Without Hold the rival interleaves after the first stage.
 	jobs[0].Hold = false
-	ests, _, _, _ = batchEstimate(jobs, picks, capacity)
+	ests, _, _, _ = batchEstimate(jobs, picks, capacity, nil)
 	if ests[0].WaitSec == 0 && ests[1].StartSec == 300 {
 		t.Fatalf("re-queueing estimate identical to held: %+v", ests)
 	}

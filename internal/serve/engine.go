@@ -1,0 +1,701 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+
+	"edacloud/internal/cloud"
+	"edacloud/internal/flow"
+	"edacloud/internal/mckp"
+)
+
+// This file is the serving engine: a single-goroutine simulated-time
+// event loop over (arrival, completion, cancel) events. The engine's
+// authoritative state is one cloud.Fleet carrying the full lease
+// timeline — committed stages (already started) plus the planned
+// future bookings of every in-flight job. At each event the
+// uncommitted tail is released (Fleet.Snapshot + ReleaseFrom), all
+// remaining stages are re-solved jointly (mckp.BatchOptimizeState,
+// warm-started), replayed through the placement engine under the
+// tenant quota gate (flow.ForecastGated), and the re-plan is adopted
+// only if it is strictly better than the incumbent — so the promise
+// made at admission (the forecast finish of every admitted job) only
+// ever improves. Everything is a pure function of the submission
+// sequence, so replays are byte-identical at any worker count.
+
+// record is one submitted job's full state.
+type record struct {
+	status JobStatus
+	// tpl is the job's (risk-adjusted) template.
+	tpl Template
+	// emittedStarts/emittedEnds count the progress events already
+	// streamed for this job's stages, in stage order.
+	emittedStarts, emittedEnds int
+}
+
+// Engine is the multi-tenant serving engine. Not safe for concurrent
+// use — the HTTP layer serializes access.
+type Engine struct {
+	cfg       Config
+	templates map[string]Template
+	tenants   map[string]Tenant
+	caps      map[string]float64
+
+	fleet  *cloud.Fleet
+	now    float64
+	jobs   []*record
+	prices map[string]float64
+
+	// Replans counts re-optimizations run; Adopted counts those whose
+	// plan replaced the incumbent; Released totals leases released.
+	Replans, Adopted, Released int
+}
+
+// New builds an engine over the config's fleet, tenants and templates.
+// Templates are risk-adjusted here when hazards are configured.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:       cfg,
+		templates: map[string]Template{},
+		tenants:   map[string]Tenant{},
+		caps:      quotaCaps(cfg.Fleet, cfg.Tenants),
+		fleet:     cfg.Fleet,
+		prices:    map[string]float64{},
+	}
+	for _, t := range cfg.Tenants {
+		e.tenants[t.Name] = t
+	}
+	for _, tpl := range cfg.Templates {
+		if len(cfg.Hazards) > 0 {
+			tpl.Classes = mckp.RiskAdjust(tpl.Classes, cfg.Hazards, cfg.BackoffSec)
+		}
+		e.templates[tpl.Name] = tpl
+	}
+	return e, nil
+}
+
+// Now returns the engine's simulated time.
+func (e *Engine) Now() float64 { return e.now }
+
+// jobKey is the lease/forecast name of job id; tenantOf inverts it.
+func jobKey(id int) string { return "j" + strconv.Itoa(id) }
+
+func (e *Engine) tenantOf(jobName string) string {
+	if len(jobName) < 2 || jobName[0] != 'j' {
+		return ""
+	}
+	id, err := strconv.Atoi(jobName[1:])
+	if err != nil || id < 0 || id >= len(e.jobs) {
+		return ""
+	}
+	return e.jobs[id].status.Tenant
+}
+
+// SubmitRequest describes one arriving job.
+type SubmitRequest struct {
+	Tenant   string
+	Template string
+	Name     string
+	// ArrivalSec is the simulated arrival time; the engine advances to
+	// it (processing completions on the way) before deciding admission.
+	// It must not precede the engine's current time.
+	ArrivalSec float64
+	// DeadlineSec is the job's absolute completion deadline; 0 means
+	// none. Admission promises the deadline or rejects the job.
+	DeadlineSec float64
+}
+
+// Submit advances to the job's arrival and decides admission: the job
+// is admitted iff a re-plan of every in-flight job plus this one meets
+// every promised deadline under the tenant quotas. Rejection leaves
+// the engine's state untouched. The returned status is a snapshot.
+func (e *Engine) Submit(req SubmitRequest) (JobStatus, error) {
+	if _, ok := e.tenants[req.Tenant]; !ok {
+		return JobStatus{}, fmt.Errorf("serve: unknown tenant %q", req.Tenant)
+	}
+	tpl, ok := e.templates[req.Template]
+	if !ok {
+		return JobStatus{}, fmt.Errorf("serve: unknown template %q", req.Template)
+	}
+	if req.ArrivalSec < e.now {
+		return JobStatus{}, fmt.Errorf("serve: job %q arrives at %g, before the engine clock %g",
+			req.Name, req.ArrivalSec, e.now)
+	}
+	if req.DeadlineSec != 0 && req.DeadlineSec <= req.ArrivalSec {
+		return JobStatus{}, fmt.Errorf("serve: job %q deadline %g precedes its arrival %g",
+			req.Name, req.DeadlineSec, req.ArrivalSec)
+	}
+	e.AdvanceTo(req.ArrivalSec)
+
+	r := &record{
+		status: JobStatus{
+			ID: len(e.jobs), Name: req.Name, Tenant: req.Tenant, Template: req.Template,
+			ArrivalSec: req.ArrivalSec, DeadlineSec: req.DeadlineSec,
+		},
+		tpl: tpl,
+	}
+	e.jobs = append(e.jobs, r)
+
+	if deadline := deadlineInt(req.DeadlineSec); deadline > 0 &&
+		readyInt(req.ArrivalSec)+mckp.MinTotalTime(tpl.Classes) > deadline {
+		r.status.Status = StatusRejected
+		r.status.Reason = "deadline unattainable even uncontended"
+		return r.status, nil
+	}
+
+	if e.cfg.Independent {
+		e.admitIndependent(r)
+		return r.status, nil
+	}
+
+	cand, err := e.replan(r)
+	if err != nil || cand == nil || cand.miss > 0 {
+		r.status.Status = StatusRejected
+		switch {
+		case err != nil:
+			r.status.Reason = err.Error()
+		case cand == nil:
+			r.status.Reason = "no feasible joint plan"
+		default:
+			r.status.Reason = "admission would break a promised deadline"
+		}
+		return r.status, nil
+	}
+	e.adopt(cand)
+	r.status.Status = StatusAdmitted
+	// Only deadlined jobs get a binding promise: a deadline-free job
+	// asked for best effort, and pinning its first forecast would make
+	// every later arrival rejectable for delaying it.
+	if r.status.DeadlineSec > 0 {
+		r.status.PromisedSec = r.status.Stages[len(r.status.Stages)-1].EndSec
+	}
+	return r.status, nil
+}
+
+// Status returns a snapshot of one job.
+func (e *Engine) Status(id int) (JobStatus, error) {
+	if id < 0 || id >= len(e.jobs) {
+		return JobStatus{}, fmt.Errorf("serve: no job %d", id)
+	}
+	return e.jobs[id].status, nil
+}
+
+// Jobs returns a snapshot of every job, in submission order.
+func (e *Engine) Jobs() []JobStatus {
+	out := make([]JobStatus, len(e.jobs))
+	for i, r := range e.jobs {
+		out[i] = r.status
+	}
+	return out
+}
+
+// Cancel advances to atSec and cancels the job: its future stages are
+// released back to the fleet (work already started runs to its stage
+// boundary and stays billed) and the remaining jobs re-plan over the
+// freed capacity.
+func (e *Engine) Cancel(id int, atSec float64) error {
+	if id < 0 || id >= len(e.jobs) {
+		return fmt.Errorf("serve: no job %d", id)
+	}
+	if atSec < e.now {
+		return fmt.Errorf("serve: cancel at %g precedes the engine clock %g", atSec, e.now)
+	}
+	e.AdvanceTo(atSec)
+	r := e.jobs[id]
+	switch r.status.Status {
+	case StatusAdmitted:
+	case StatusDone:
+		return fmt.Errorf("serve: job %d already finished", id)
+	default:
+		return fmt.Errorf("serve: job %d is %s", id, r.status.Status)
+	}
+	// Truncate the plan to the committed prefix and settle the bill.
+	kept := committedStages(r.status.Stages, e.now)
+	r.status.Stages = append([]PlannedStage(nil), r.status.Stages[:kept]...)
+	r.status.Status = StatusCanceled
+	r.status.CostUSD = stageCost(r.status.Stages)
+	if kept > 0 {
+		r.status.FinishSec = r.status.Stages[kept-1].EndSec
+	} else {
+		r.status.FinishSec = e.now
+	}
+	e.reoptimize(true)
+	return nil
+}
+
+// AdvanceTo moves simulated time forward to tSec, finalizing every job
+// whose plan completes on the way and re-optimizing after each
+// completion. Advancing to +Inf drains the engine (the clock stops at
+// the last completion).
+func (e *Engine) AdvanceTo(tSec float64) {
+	for {
+		next, id := math.Inf(1), -1
+		for i, r := range e.jobs {
+			if r.status.Status != StatusAdmitted {
+				continue
+			}
+			if f := r.status.Stages[len(r.status.Stages)-1].EndSec; f < next {
+				next, id = f, i
+			}
+		}
+		if id < 0 || next > tSec {
+			break
+		}
+		e.now = next
+		r := e.jobs[id]
+		r.status.Status = StatusDone
+		r.status.FinishSec = next
+		r.status.CostUSD = stageCost(r.status.Stages)
+		e.emitUpTo(e.now)
+		e.reoptimize(false)
+	}
+	if !math.IsInf(tSec, 1) && tSec > e.now {
+		e.now = tSec
+	}
+	e.emitUpTo(e.now)
+}
+
+// Drain runs the engine to quiescence: every admitted job completes.
+func (e *Engine) Drain() { e.AdvanceTo(math.Inf(1)) }
+
+// plan is one candidate engine state produced by replan: the trial
+// fleet with the re-booked tail, the per-job re-planned stage tails,
+// and the score the adoption rule compares.
+type plan struct {
+	fleet     *cloud.Fleet
+	miss      int
+	cost      float64
+	sumFinish float64
+	// tails maps job id to its re-planned remaining stages; kept counts
+	// the committed prefix the tail appends to.
+	tails  map[int][]PlannedStage
+	kept   map[int]int
+	prices map[string]float64
+}
+
+// committedStages counts the prefix of stages already started by now —
+// the immutable part of a job's plan.
+func committedStages(stages []PlannedStage, now float64) int {
+	kept := 0
+	for _, st := range stages {
+		if st.StartSec >= now {
+			break
+		}
+		kept++
+	}
+	return kept
+}
+
+func stageCost(stages []PlannedStage) float64 {
+	var c float64
+	for _, st := range stages {
+		c += st.CostUSD
+	}
+	return c
+}
+
+// readyInt and deadlineInt move the serving layer's continuous clock
+// into the knapsack's integral seconds: a job can start no earlier
+// than the next whole second, and must finish within its deadline's
+// whole second.
+func readyInt(t float64) int           { return int(math.Ceil(t - 1e-9)) }
+func deadlineInt(deadline float64) int { return int(math.Floor(deadline + 1e-9)) }
+
+// replan builds the candidate state for the current event: release the
+// uncommitted tail, re-solve every remaining stage jointly (the extra
+// job, when non-nil, rides along as the arrival under admission test),
+// and replay the picks through the gated placement engine. A nil plan
+// with nil error means the joint solve was infeasible.
+func (e *Engine) replan(extra *record) (*plan, error) {
+	e.Replans++
+	snap := e.fleet.Snapshot()
+	e.Released += snap.ReleaseFrom(e.now)
+
+	type entry struct {
+		id    int
+		r     *record
+		kept  int
+		ready int
+		eff   float64 // binding deadline: the admission promise, or the user deadline
+	}
+	var active []entry
+	p := &plan{fleet: snap, tails: map[int][]PlannedStage{}, kept: map[int]int{}}
+	consider := e.jobs
+	for i, r := range consider {
+		if r.status.Status != StatusAdmitted && !(extra != nil && r == extra) {
+			continue
+		}
+		kept := committedStages(r.status.Stages, e.now)
+		if r != extra && kept == len(r.status.Stages) {
+			// Fully committed: its finish is fixed; it only contributes to
+			// the score.
+			p.sumFinish += r.status.Stages[kept-1].EndSec
+			continue
+		}
+		ready := e.now
+		if kept > 0 {
+			if end := r.status.Stages[kept-1].EndSec; end > ready {
+				ready = end
+			}
+		}
+		if r.status.ArrivalSec > ready {
+			ready = r.status.ArrivalSec
+		}
+		// The binding deadline in a re-plan is the promise made at
+		// admission, not the (possibly looser or absent) user deadline:
+		// re-plans may move an admitted job earlier but never past what
+		// it was promised. The arriving job under admission test has no
+		// promise yet, so its own deadline binds.
+		eff := r.status.DeadlineSec
+		if r.status.Status == StatusAdmitted && r.status.PromisedSec > 0 {
+			eff = r.status.PromisedSec
+		}
+		active = append(active, entry{id: i, r: r, kept: kept, ready: readyInt(ready), eff: eff})
+	}
+	if len(active) == 0 {
+		p.cost = snap.TotalCostUSD()
+		p.prices = e.prices
+		return p, nil
+	}
+
+	capacity := mckp.Capacity{}
+	freeAt := map[string][]int{}
+	for _, inst := range snap.Instances {
+		label := inst.Type.Name
+		capacity[label]++
+		freeAt[label] = append(freeAt[label], readyInt(inst.FreeAtSec))
+	}
+	bjobs := make([]mckp.BatchJob, len(active))
+	for n, a := range active {
+		deadline := deadlineInt(a.eff)
+		classes := a.r.tpl.Classes[a.kept:]
+		if deadline > 0 && a.ready+mckp.MinTotalTime(classes) > deadline {
+			// Doomed under any picks: solve it deadline-free so the batch
+			// stays feasible; the forecast below will count the miss and the
+			// adoption rule (or admission) will refuse the plan.
+			deadline = 0
+		}
+		bjobs[n] = mckp.BatchJob{
+			Name:        jobKey(a.id),
+			Classes:     classes,
+			DeadlineSec: deadline,
+			ReadySec:    a.ready,
+		}
+	}
+	rounds := e.cfg.Rounds
+	if rounds <= 0 {
+		rounds = 2
+	}
+	if len(e.prices) == 0 {
+		rounds = 0 // first solve is cold: use the optimizer's full budget
+	}
+	sel, err := mckp.BatchOptimizeState(bjobs, capacity, mckp.BatchState{
+		FreeAtSec: freeAt,
+		Prices:    e.prices,
+		Rounds:    rounds,
+		Workers:   e.cfg.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !sel.Feasible {
+		return nil, nil
+	}
+
+	fjobs := make([]flow.ForecastJob, len(active))
+	for n, a := range active {
+		fj := flow.ForecastJob{
+			Name:        jobKey(a.id),
+			DeadlineSec: a.eff,
+			ReadySec:    float64(a.ready),
+		}
+		for l, pick := range sel.Jobs[n].Pick {
+			it := bjobs[n].Classes[l].Items[pick]
+			typ, ok := snap.TypeByName(it.Label)
+			if !ok {
+				return nil, fmt.Errorf("serve: plan names instance type %q absent from the fleet", it.Label)
+			}
+			fj.Stages = append(fj.Stages, flow.ForecastStage{
+				Kind:    a.r.tpl.Kinds[a.kept+l],
+				Type:    typ,
+				Seconds: float64(it.TimeSec),
+			})
+		}
+		fjobs[n] = fj
+	}
+	gate := newQuotaGate(snap, e.caps, e.tenantOf)
+	sched, err := flow.ForecastGated(snap, fjobs, gate)
+	if err != nil {
+		return nil, err
+	}
+	for n, a := range active {
+		res := sched.Jobs[n]
+		if a.eff > 0 && res.FinishSec > a.eff+1e-9 {
+			p.miss++
+		}
+		p.sumFinish += res.FinishSec
+		tail := make([]PlannedStage, len(res.Stages))
+		for s, st := range res.Stages {
+			tail[s] = PlannedStage{
+				Kind: st.Kind, Type: st.Type.Name,
+				StartSec: st.StartSec, EndSec: st.StartSec + st.Seconds,
+				CostUSD: st.CostUSD,
+			}
+		}
+		p.tails[a.id] = tail
+		p.kept[a.id] = a.kept
+	}
+	p.cost = snap.TotalCostUSD()
+	p.prices = sel.FinalPrices
+	return p, nil
+}
+
+// adopt installs a candidate plan as the engine state.
+func (e *Engine) adopt(p *plan) {
+	e.Adopted++
+	e.fleet = p.fleet
+	if p.prices != nil {
+		e.prices = p.prices
+	}
+	for id, tail := range p.tails {
+		r := e.jobs[id]
+		r.status.Stages = append(r.status.Stages[:p.kept[id]:p.kept[id]], tail...)
+		r.status.CostUSD = stageCost(r.status.Stages)
+	}
+}
+
+// reoptimize runs the completion/cancel-event re-plan. On a cancel the
+// incumbent fleet still carries the canceled job's future leases, so
+// some new state must be adopted: the candidate when it keeps every
+// promise, else the incumbent with the canceled jobs' future leases
+// surgically dropped. On a completion the candidate is adopted only
+// when strictly better than the incumbent — fewer misses never arise
+// (the incumbent has none), so better means cheaper, then
+// earlier-finishing at equal cost.
+func (e *Engine) reoptimize(cancel bool) {
+	if e.cfg.Independent {
+		// The baseline never re-plans; a cancel still frees the canceled
+		// job's future leases.
+		if cancel {
+			e.dropCanceledLeases()
+		}
+		return
+	}
+	cand, err := e.replan(nil)
+	ok := err == nil && cand != nil && cand.miss == 0
+	if !ok {
+		if cancel {
+			e.dropCanceledLeases()
+		}
+		return
+	}
+	if cancel {
+		e.adopt(cand)
+		return
+	}
+	curCost := e.fleet.TotalCostUSD()
+	curSum := 0.0
+	for _, r := range e.jobs {
+		if r.status.Status == StatusAdmitted {
+			curSum += r.status.Stages[len(r.status.Stages)-1].EndSec
+		}
+	}
+	if cand.cost < curCost-1e-9 || (cand.cost < curCost+1e-9 && cand.sumFinish < curSum-1e-9) {
+		e.adopt(cand)
+	}
+}
+
+// dropCanceledLeases removes canceled jobs' not-yet-started leases
+// from the live fleet in place, leaving every other booking untouched
+// — the fallback when a post-cancel re-plan would break a promise.
+func (e *Engine) dropCanceledLeases() {
+	canceled := map[string]bool{}
+	for i, r := range e.jobs {
+		if r.status.Status == StatusCanceled {
+			canceled[jobKey(i)] = true
+		}
+	}
+	for _, inst := range e.fleet.Instances {
+		kept := inst.Leases[:0]
+		for _, l := range inst.Leases {
+			if canceled[l.Job] && l.StartSec >= e.now {
+				e.Released++
+				continue
+			}
+			kept = append(kept, l)
+		}
+		inst.Leases = kept
+		inst.FreeAtSec, inst.BusySec, inst.CostUSD = 0, 0, 0
+		for _, l := range inst.Leases {
+			if l.EndSec > inst.FreeAtSec {
+				inst.FreeAtSec = l.EndSec
+			}
+			inst.BusySec += l.EndSec - l.StartSec
+			inst.CostUSD += l.CostUSD
+		}
+	}
+}
+
+// admitIndependent is the per-arrival baseline: the job's own min-cost
+// DP (congestion ignored), booked through the gated placement engine
+// after every existing reservation, admitted iff the resulting finish
+// keeps the deadline. Nothing is ever re-planned afterwards.
+func (e *Engine) admitIndependent(r *record) {
+	ready := readyInt(r.status.ArrivalSec)
+	deadline := deadlineInt(r.status.DeadlineSec)
+	budget := 0
+	if deadline > 0 {
+		budget = deadline - ready
+	} else {
+		for _, cl := range r.tpl.Classes {
+			worst := 0
+			for _, it := range cl.Items {
+				if it.TimeSec > worst {
+					worst = it.TimeSec
+				}
+			}
+			budget += worst
+		}
+	}
+	sel, err := mckp.SolveMinCost(r.tpl.Classes, budget)
+	if err != nil || !sel.Feasible {
+		r.status.Status = StatusRejected
+		r.status.Reason = "no feasible solo plan"
+		return
+	}
+	fj := flow.ForecastJob{
+		Name:        jobKey(r.status.ID),
+		DeadlineSec: r.status.DeadlineSec,
+		ReadySec:    float64(ready),
+	}
+	for l, pick := range sel.Pick {
+		it := r.tpl.Classes[l].Items[pick]
+		typ, _ := e.fleet.TypeByName(it.Label)
+		fj.Stages = append(fj.Stages, flow.ForecastStage{
+			Kind: r.tpl.Kinds[l], Type: typ, Seconds: float64(it.TimeSec),
+		})
+	}
+	snap := e.fleet.Snapshot()
+	gate := newQuotaGate(snap, e.caps, e.tenantOf)
+	sched, err := flow.ForecastGated(snap, []flow.ForecastJob{fj}, gate)
+	if err != nil {
+		r.status.Status = StatusRejected
+		r.status.Reason = err.Error()
+		return
+	}
+	res := sched.Jobs[0]
+	if d := r.status.DeadlineSec; d > 0 && res.FinishSec > d+1e-9 {
+		r.status.Status = StatusRejected
+		r.status.Reason = "deadline unattainable behind existing reservations"
+		return
+	}
+	e.fleet = snap
+	r.status.Status = StatusAdmitted
+	for _, st := range res.Stages {
+		r.status.Stages = append(r.status.Stages, PlannedStage{
+			Kind: st.Kind, Type: st.Type.Name,
+			StartSec: st.StartSec, EndSec: st.StartSec + st.Seconds,
+			CostUSD: st.CostUSD,
+		})
+	}
+	r.status.CostUSD = stageCost(r.status.Stages)
+	if r.status.DeadlineSec > 0 {
+		r.status.PromisedSec = res.FinishSec
+	}
+}
+
+// emitUpTo streams the progress events that became fact by simulated
+// time t: a StageStarted for every stage begun strictly before t, a
+// StageFinished for every stage ended at or before t, in (time, kind
+// of boundary, job id) order. Stages that have not started yet remain
+// re-plannable, so nothing is emitted for them.
+func (e *Engine) emitUpTo(t float64) {
+	if e.cfg.OnEvent == nil {
+		return
+	}
+	type pending struct {
+		at    float64
+		end   bool
+		jobID int
+		idx   int
+	}
+	var evs []pending
+	for i, r := range e.jobs {
+		switch r.status.Status {
+		case StatusAdmitted, StatusDone, StatusCanceled:
+		default:
+			continue
+		}
+		stages := r.status.Stages
+		for idx := r.emittedStarts; idx < len(stages) && stages[idx].StartSec < t; idx++ {
+			evs = append(evs, pending{at: stages[idx].StartSec, jobID: i, idx: idx})
+		}
+		for idx := r.emittedEnds; idx < len(stages) && stages[idx].EndSec <= t; idx++ {
+			evs = append(evs, pending{at: stages[idx].EndSec, end: true, jobID: i, idx: idx})
+		}
+	}
+	sort.SliceStable(evs, func(a, b int) bool {
+		if evs[a].at != evs[b].at {
+			return evs[a].at < evs[b].at
+		}
+		if evs[a].end != evs[b].end {
+			return evs[a].end // finishes before starts at the same instant
+		}
+		return evs[a].jobID < evs[b].jobID
+	})
+	for _, ev := range evs {
+		r := e.jobs[ev.jobID]
+		st := r.status.Stages[ev.idx]
+		fev := flow.Event{
+			Type:  flow.StageStarted,
+			Stage: st.Kind.String(),
+			Kind:  st.Kind,
+			Index: ev.idx,
+			Total: len(r.tpl.Kinds),
+		}
+		if ev.end {
+			fev.Type = flow.StageFinished
+			r.emittedEnds = ev.idx + 1
+		} else {
+			r.emittedStarts = ev.idx + 1
+		}
+		e.cfg.OnEvent(Event{
+			AtSec: ev.at, JobID: ev.jobID, Job: r.status.Name, Tenant: r.status.Tenant, Flow: fev,
+		})
+	}
+}
+
+// TenantStats summarizes every tenant's ledger, in config order.
+func (e *Engine) TenantStats() []TenantStat {
+	out := make([]TenantStat, len(e.cfg.Tenants))
+	idx := map[string]int{}
+	var weightSum float64
+	for _, t := range e.cfg.Tenants {
+		weightSum += t.Weight
+	}
+	for i, t := range e.cfg.Tenants {
+		idx[t.Name] = i
+		out[i] = TenantStat{Name: t.Name, Weight: t.Weight, QuotaUSDH: e.caps[t.Name] * 3600}
+	}
+	for _, r := range e.jobs {
+		s := &out[idx[r.status.Tenant]]
+		s.Submitted++
+		switch r.status.Status {
+		case StatusRejected:
+			s.Rejected++
+			continue
+		case StatusDone:
+			s.Done++
+		case StatusCanceled:
+			s.Canceled++
+		}
+		s.Admitted++
+		s.CostUSD += r.status.CostUSD
+	}
+	return out
+}
