@@ -23,6 +23,7 @@ import (
 	"testing"
 	"time"
 
+	"edacloud/internal/cache"
 	"edacloud/internal/cloud"
 	"edacloud/internal/core"
 	"edacloud/internal/designs"
@@ -961,6 +962,72 @@ func BenchmarkAdmissionThroughput(b *testing.B) {
 				"admitted":     float64(rep.Admitted),
 				"replans":      float64(rep.Replans),
 				"cost_usd":     rep.TotalCostUSD,
+			})
+		}
+	}
+}
+
+// BenchmarkCacheHitThroughput measures the artifact cache's dedup
+// dividend: each iteration runs the same mixed batch twice over one
+// content-addressed store — a cold pass that computes every stage and
+// fills it, then a warm pass served entirely from it — and reports
+// both throughputs plus the warm pass's hit rate. The warm/cold
+// speedup is the cache's payoff on repeated flow work, tracked by CI
+// across commits.
+func BenchmarkCacheHitThroughput(b *testing.B) {
+	catalog := cloud.DefaultCatalog()
+	inst, err := catalog.Size(cloud.MemoryOptimized, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var jobs []flow.Job
+	for _, name := range []string{"dyn_node", "aes", "ibex"} {
+		g := designs.MustEvalDesign(name, benchScale)
+		jobs = append(jobs, flow.Job{
+			Name: name, Design: g, Lib: benchLib,
+			Instance: inst, WorkScale: 2e4,
+		})
+	}
+	run := func(store *cache.Store) (*flow.Schedule, time.Duration) {
+		start := time.Now()
+		res, err := (&flow.Scheduler{Cache: store}).Run(context.Background(), jobs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Failed > 0 {
+			b.Fatalf("%d jobs failed", res.Failed)
+		}
+		return res, time.Since(start)
+	}
+	for i := 0; i < b.N; i++ {
+		store := cache.New(0)
+		cold, coldWall := run(store)
+		warm, warmWall := run(store)
+		stages := 0
+		for _, j := range warm.Jobs {
+			stages += len(j.Stages)
+		}
+		if warm.CacheHits != stages {
+			b.Fatalf("warm pass hit %d of %d stages", warm.CacheHits, stages)
+		}
+		if warm.TotalCostUSD > cold.TotalCostUSD {
+			b.Fatalf("warm pass billed $%.4f, cold $%.4f", warm.TotalCostUSD, cold.TotalCostUSD)
+		}
+		coldRate := float64(len(jobs)) / coldWall.Seconds()
+		warmRate := float64(len(jobs)) / warmWall.Seconds()
+		hitRate := float64(warm.CacheHits) / float64(stages)
+		b.ReportMetric(coldRate, "cold_jobs/s")
+		b.ReportMetric(warmRate, "warm_jobs/s")
+		b.ReportMetric(hitRate*100, "hit_%")
+		if i == 0 {
+			fmt.Printf("\nCacheHitThroughput cores=%d jobs=%d cold=%.2f jobs/s warm=%.2f jobs/s speedup=%.1fx hits=%d/%d\n",
+				runtime.GOMAXPROCS(0), len(jobs), coldRate, warmRate, warmRate/coldRate,
+				warm.CacheHits, stages)
+			benchSnapshot(b, "CacheHitThroughput", map[string]float64{
+				"cold_jobs_per_sec": coldRate,
+				"warm_jobs_per_sec": warmRate,
+				"warm_speedup":      warmRate / coldRate,
+				"hit_rate":          hitRate,
 			})
 		}
 	}

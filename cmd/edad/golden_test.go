@@ -31,6 +31,49 @@ func TestReplayGolden(t *testing.T) {
 	clitest.Golden(t, "testdata/replay.golden", got, *update)
 }
 
+// TestReplayHazardsGolden pins the preemptible-capacity serving path:
+// a spot-extended catalog, a fleet holding spot twins, uniform spot
+// hazards risk-adjusting admission, and the seeded revocation model
+// armed on both engines' fleets.
+func TestReplayHazardsGolden(t *testing.T) {
+	bin := clitest.Build(t, "")
+	got := clitest.Run(t, bin,
+		"-replay",
+		"-designs", "ibex,aes",
+		"-scale", "0.03",
+		"-fleet", "gp.1x=1,gp.2x=1,gp.8x=1,mem.1x=1,mem.2x=1,mem.8x=1,gp.8x.spot=1,mem.8x.spot=1",
+		"-spot", "0.7",
+		"-hazard-rate", "12",
+		"-hazard-seed", "5",
+		"-trace-seed", "7",
+		"-trace-jobs", "12",
+		"-rate", "0.02",
+		"-burst", "0.3",
+		"-slack", "3",
+	)
+	clitest.Golden(t, "testdata/replay_hazards.golden", got, *update)
+}
+
+// TestReplayCacheGolden pins the cache-aware serving path: templates
+// carry their artifact chain keys, so repeat submissions of a design
+// are planned as cache hits and the report counts them.
+func TestReplayCacheGolden(t *testing.T) {
+	bin := clitest.Build(t, "")
+	got := clitest.Run(t, bin,
+		"-replay",
+		"-cache",
+		"-designs", "ibex,aes",
+		"-scale", "0.03",
+		"-fleet", "gp.1x=1,gp.2x=1,gp.8x=1,mem.1x=1,mem.2x=1,mem.8x=1",
+		"-trace-seed", "7",
+		"-trace-jobs", "12",
+		"-rate", "0.02",
+		"-burst", "0.3",
+		"-slack", "3",
+	)
+	clitest.Golden(t, "testdata/replay_cache.golden", got, *update)
+}
+
 // TestReplayGoldenWorkers re-runs the same replay with -workers 1 and
 // -workers 8: the output must match the golden byte for byte — the
 // serving layer's determinism contract.

@@ -53,6 +53,10 @@ func main() {
 	burst := flag.Float64("burst", 0.3, "arrival burstiness in [0,1) for -replay")
 	slack := flag.Float64("slack", 0, "deadline slack as a multiple of the template's slowest plan (0 = deadline-free)")
 	workers := flag.Int("workers", 0, "bound for characterization and re-plan fan-out (0 = all cores; results identical)")
+	spot := flag.Float64("spot", 0, "spot discount in (0,1): extends the catalog with preemptible twins the fleet spec may name (e.g. gp.2x.spot)")
+	hazardRate := flag.Float64("hazard-rate", 0, "spot revocation rate in events/hour: risk-adjusts admission and arms the fleet's revocation model")
+	hazardSeed := flag.Int64("hazard-seed", 1, "seed for the fleet's revocation timelines (with -hazard-rate)")
+	useCache := flag.Bool("cache", false, "enable the fleet-wide artifact cache: templates carry their chain keys, so jobs sharing a flow prefix are planned as cache hits")
 	flag.Parse()
 
 	if *listen == "" && !*replay {
@@ -60,16 +64,33 @@ func main() {
 	}
 
 	catalog := cloud.DefaultCatalog()
-	fleet, err := cloud.ParseFleetSpec(catalog, *fleetSpec)
-	if err != nil {
-		fail(err)
+	if *spot > 0 {
+		var err error
+		if catalog, err = catalog.WithSpot(*spot); err != nil {
+			fail(err)
+		}
 	}
+	var hazards map[string]float64
+	if *hazardRate > 0 {
+		hazards = cloud.UniformSpotHazards(catalog, *hazardRate)
+	}
+	armFleet := func(spec string) *cloud.Fleet {
+		f, err := cloud.ParseFleetSpec(catalog, spec)
+		if err != nil {
+			fail(err)
+		}
+		if hazards != nil {
+			f.Revocation = cloud.NewRevocationModel(*hazardSeed, hazards)
+		}
+		return f
+	}
+	fleet := armFleet(*fleetSpec)
 	tenants, err := parseTenants(*tenantSpec)
 	if err != nil {
 		fail(err)
 	}
 	designs := strings.Split(*designList, ",")
-	templates, err := buildTemplates(catalog, fleet, designs, *scale, *workers)
+	templates, err := buildTemplates(catalog, fleet, designs, *scale, *workers, *useCache)
 	if err != nil {
 		fail(err)
 	}
@@ -79,12 +100,15 @@ func main() {
 			seed: *traceSeed, jobs: *traceJobs, rate: *rate, burst: *burst,
 			slack: *slack, workers: *workers,
 			fleetSpec: *fleetSpec, designs: designs,
+			hazards: hazards, hazardRate: *hazardRate, hazardSeed: *hazardSeed,
+			spot: *spot, cache: *useCache, armFleet: armFleet,
 		})
 		return
 	}
 
 	srv, err := serve.NewServer(serve.Config{
 		Fleet: fleet, Tenants: tenants, Templates: templates, Workers: *workers,
+		Hazards: hazards,
 	})
 	if err != nil {
 		fail(err)
@@ -113,7 +137,7 @@ func parseTenants(spec string) ([]serve.Tenant, error) {
 // buildTemplates characterizes each design and converts its deployment
 // problem into a serving template, keeping only the machine choices
 // the serving fleet actually offers.
-func buildTemplates(catalog *cloud.Catalog, fleet *cloud.Fleet, designs []string, scale float64, workers int) ([]serve.Template, error) {
+func buildTemplates(catalog *cloud.Catalog, fleet *cloud.Fleet, designs []string, scale float64, workers int, useCache bool) ([]serve.Template, error) {
 	lib := techlib.Default14nm()
 	opts := core.CharacterizeOptions{Scale: scale, Workers: workers}
 	var out []serve.Template
@@ -128,6 +152,15 @@ func buildTemplates(catalog *cloud.Catalog, fleet *cloud.Fleet, designs []string
 			return nil, err
 		}
 		tpl := serve.Template{Name: d, Kinds: core.JobKinds()}
+		if useCache {
+			sk, err := core.CacheChain(lib, d, opts)
+			if err != nil {
+				return nil, err
+			}
+			for _, s := range sk {
+				tpl.Chain = append(tpl.Chain, s.Key)
+			}
+		}
 		for l, cl := range prob.Classes {
 			kept := cl
 			kept.Items = nil
@@ -154,6 +187,15 @@ type replayParams struct {
 	workers     int
 	fleetSpec   string
 	designs     []string
+	hazards     map[string]float64
+	hazardRate  float64
+	hazardSeed  int64
+	spot        float64
+	cache       bool
+	// armFleet builds a fresh fleet from a spec with the replay's
+	// revocation model attached — both engines must face identical
+	// revocation timelines.
+	armFleet func(string) *cloud.Fleet
 }
 
 // runReplay generates the trace, replays it under both engines over
@@ -200,21 +242,28 @@ func runReplay(fleet *cloud.Fleet, tenants []serve.Tenant, templates []serve.Tem
 	fmt.Printf("edad replay: %d jobs, seed %d, rate %.3g/s, burstiness %.2f, slack %.0fs\n",
 		p.jobs, p.seed, p.rate, p.burst, slackSec)
 	fmt.Printf("fleet: %s\n", p.fleetSpec)
+	if p.spot > 0 {
+		fmt.Printf("spot: %.0f%% discount\n", 100*p.spot)
+	}
+	if p.hazardRate > 0 {
+		fmt.Printf("hazards: %.3g revocations/h on spot capacity, seed %d\n", p.hazardRate, p.hazardSeed)
+	}
+	if p.cache {
+		fmt.Printf("artifact cache: enabled (templates carry chain keys)\n")
+	}
 	fmt.Printf("tenants: %s\n", strings.Join(tnames, ", "))
 	fmt.Printf("templates: %s\n\n", strings.Join(dnames, ", "))
 
 	_, rolling, err := serve.Replay(serve.Config{
 		Fleet: fleet, Tenants: tenants, Templates: templates, Workers: p.workers,
+		Hazards: p.hazards,
 	}, trace)
 	if err != nil {
 		fail(err)
 	}
-	indFleet, err := cloud.ParseFleetSpec(cloud.DefaultCatalog(), p.fleetSpec)
-	if err != nil {
-		fail(err)
-	}
 	_, indep, err := serve.Replay(serve.Config{
-		Fleet: indFleet, Tenants: tenants, Templates: templates, Workers: p.workers,
+		Fleet: p.armFleet(p.fleetSpec), Tenants: tenants, Templates: templates, Workers: p.workers,
+		Hazards:     p.hazards,
 		Independent: true,
 	}, trace)
 	if err != nil {

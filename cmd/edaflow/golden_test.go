@@ -45,3 +45,38 @@ func TestAdaptiveFleetGolden(t *testing.T) {
 	)
 	clitest.Golden(t, "testdata/adaptive_fleet.golden", got, *update)
 }
+
+// TestCacheFleetGolden pins the -cache fleet batch: an artifact store
+// attached across three copies of the same flow. The first copy
+// computes every stage; the planner predicts the rest as hits, so
+// their stage tables show "(cache)" placements at the probe constant
+// and the batch bills a single copy's work. The cache summary line
+// pins the hit/miss accounting.
+func TestCacheFleetGolden(t *testing.T) {
+	bin := clitest.Build(t, "")
+	got := clitest.Run(t, bin,
+		"-design", "aes",
+		"-scale", "0.03",
+		"-fleet", "gp.2x=1,mem.2x=1",
+		"-batch", "3",
+		"-policy", "adaptive",
+		"-cache",
+	)
+	clitest.Golden(t, "testdata/cache_fleet.golden", got, *update)
+}
+
+// TestCacheFirstFitGolden pins -cache under the firstfit policy: the
+// scheduler-level dedup path (no planner involved) — later copies'
+// stages adopt the first copy's artifacts and book no machine.
+func TestCacheFirstFitGolden(t *testing.T) {
+	bin := clitest.Build(t, "")
+	got := clitest.Run(t, bin,
+		"-design", "aes",
+		"-scale", "0.03",
+		"-fleet", "gp.4x=1,mem.8x=1",
+		"-batch", "3",
+		"-policy", "firstfit",
+		"-cache",
+	)
+	clitest.Golden(t, "testdata/cache_firstfit.golden", got, *update)
+}

@@ -32,6 +32,7 @@ import (
 	"strings"
 
 	"edacloud/internal/aig"
+	"edacloud/internal/cache"
 	"edacloud/internal/cloud"
 	"edacloud/internal/core"
 	"edacloud/internal/designs"
@@ -64,6 +65,7 @@ func main() {
 	hazardSeed := flag.Int64("hazard-seed", 1, "revocation timeline seed for -spot")
 	hazardRate := flag.Float64("hazard-rate", 60, "revocations per spot-instance-hour for -spot")
 	escalateAfter := flag.Int("escalate-after", 0, "escalate a stage to the on-demand counterpart after this many revocations (0 = never)")
+	useCache := flag.Bool("cache", false, "attach a content-addressed artifact store across the -fleet batch: identical stage work dedups to cache hits (adaptive policy also plans against predicted hits)")
 	flag.Parse()
 
 	var g *aig.Graph
@@ -96,12 +98,15 @@ func main() {
 			workers: *workers, registers: *registers, clock: *clock,
 			design: *design, scale: *scale,
 			spot: *spot, hazardSeed: *hazardSeed, hazardRate: *hazardRate,
-			escalateAfter: *escalateAfter,
+			escalateAfter: *escalateAfter, cache: *useCache,
 		})
 		return
 	}
 	if *spot {
 		fail(fmt.Errorf("-spot needs -fleet: revocations only exist in the fleet simulation"))
+	}
+	if *useCache {
+		fail(fmt.Errorf("-cache needs -fleet: the artifact store dedups across a batch"))
 	}
 
 	estCells := flow.EstimateCells(g.NumAnds())
@@ -187,6 +192,9 @@ type batchConfig struct {
 	hazardSeed    int64
 	hazardRate    float64
 	escalateAfter int
+	// cache attaches a content-addressed artifact store to the batch:
+	// copies of the same flow dedup to cache hits after the first.
+	cache bool
 }
 
 // runFleetBatch schedules copies of the configured flow over a bounded
@@ -215,6 +223,10 @@ func runFleetBatch(g *aig.Graph, lib *techlib.Library, recipe synth.Recipe, stag
 		fleet.Revocation = cloud.NewRevocationModel(cfg.hazardSeed,
 			cloud.UniformSpotHazards(catalog, cfg.hazardRate))
 		retry = flow.RetryPolicy{MaxAttempts: 50, BackoffSec: 30, EscalateAfter: cfg.escalateAfter}
+	}
+	var store *cache.Store
+	if cfg.cache {
+		store = cache.New(0)
 	}
 
 	var sched *flow.Schedule
@@ -252,7 +264,7 @@ func runFleetBatch(g *aig.Graph, lib *techlib.Library, recipe synth.Recipe, stag
 				WorkScale: 2e4,
 			})
 		}
-		if sched, err = (&flow.Scheduler{Workers: cfg.workers, Fleet: fleet, Policy: policy}).Run(nil, jobs); err != nil {
+		if sched, err = (&flow.Scheduler{Workers: cfg.workers, Fleet: fleet, Policy: policy, Cache: store}).Run(nil, jobs); err != nil {
 			fail(err)
 		}
 	case "adaptive":
@@ -265,7 +277,7 @@ func runFleetBatch(g *aig.Graph, lib *techlib.Library, recipe synth.Recipe, stag
 		if cfg.spot {
 			fail(fmt.Errorf("-spot applies to the single and firstfit policies; use optimize -spot for risk-adjusted planning"))
 		}
-		sched = runAdaptiveBatch(lib, catalog, fleet, recipe, cfg)
+		sched = runAdaptiveBatch(lib, catalog, fleet, recipe, cfg, store)
 		perJobDeadlines = true
 	default:
 		fail(fmt.Errorf("unknown policy %q (want single, firstfit or adaptive)", cfg.policy))
@@ -320,8 +332,12 @@ func runFleetBatch(g *aig.Graph, lib *techlib.Library, recipe synth.Recipe, stag
 			"job", "stage", "instance", "start", "wait", "busy")
 		for _, j := range sched.Jobs {
 			for _, st := range j.Stages {
+				inst := st.Instance
+				if st.Cached {
+					inst = "(cache)"
+				}
 				fmt.Printf("%-12s %-10s %-10s %8.0fs %8.0fs %8.0fs\n",
-					j.Name, st.Kind, st.Instance, st.StartSec, st.WaitSec, st.Seconds)
+					j.Name, st.Kind, inst, st.StartSec, st.WaitSec, st.Seconds)
 			}
 		}
 	}
@@ -332,6 +348,11 @@ func runFleetBatch(g *aig.Graph, lib *techlib.Library, recipe synth.Recipe, stag
 	} else {
 		fmt.Printf("\nBatch: $%.4f, makespan %.0fs, %.0fs queued, fleet %.1f%% utilized\n\n",
 			sched.TotalCostUSD, sched.MakespanSec, sched.TotalWaitSec, sched.UtilizationPct)
+	}
+	if store != nil {
+		st := store.Stats()
+		fmt.Printf("Artifact cache: %d hits, %d misses, %d entries live (%d bytes)\n\n",
+			st.Hits, st.Misses, store.Len(), store.Bytes())
 	}
 	fmt.Printf("%-12s %7s %9s %10s %7s\n", "instance", "leases", "busy", "cost ($)", "util")
 	for _, row := range sched.Fleet.Ledger(sched.MakespanSec) {
@@ -345,7 +366,7 @@ func runFleetBatch(g *aig.Graph, lib *techlib.Library, recipe synth.Recipe, stag
 // under flow.AdaptivePolicy — each job carrying its choice table so a
 // queue-starved stage can upgrade its instance class at placement
 // time. The fleet is mutated with the run's leases for the ledger.
-func runAdaptiveBatch(lib *techlib.Library, catalog *cloud.Catalog, fleet *cloud.Fleet, recipe synth.Recipe, cfg batchConfig) *flow.Schedule {
+func runAdaptiveBatch(lib *techlib.Library, catalog *cloud.Catalog, fleet *cloud.Fleet, recipe synth.Recipe, cfg batchConfig, store *cache.Store) *flow.Schedule {
 	if cfg.design == "" {
 		fail(fmt.Errorf("-policy adaptive needs -design (it characterizes the design to build choice tables)"))
 	}
@@ -380,7 +401,15 @@ func runAdaptiveBatch(lib *techlib.Library, catalog *cloud.Catalog, fleet *cloud
 			specs[i].DeadlineSec = int(1.3 * float64(ibp.Plans[i].TotalTime))
 		}
 	}
-	bp, err := core.OptimizeBatch(specs, fleet)
+	if store != nil {
+		// Predict which stages the store (plus earlier copies in this
+		// batch) will serve, so the joint solve can spend each copy's
+		// deadline budget on the stages it actually computes.
+		if err := core.PredictCacheHits(store, lib, specs, charOpts); err != nil {
+			fail(err)
+		}
+	}
+	bp, err := core.OptimizeBatchOpts(specs, fleet, core.BatchOptions{Cache: store})
 	if err != nil {
 		fail(err)
 	}

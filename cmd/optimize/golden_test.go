@@ -46,3 +46,23 @@ func TestBatchGolden(t *testing.T) {
 	)
 	clitest.Golden(t, "testdata/batch.golden", got, *update)
 }
+
+// TestBatchCacheGolden pins the -cache batch: repeated designs are
+// planned as cache hits (their plan rows collapse to probe time at
+// zero cost), the forecast still matches the simulation exactly, and
+// the closing comparison shows the cache-aware joint plan billing
+// less than the cache-blind one priced over the same store. The tight
+// 1.02x slack is what makes the comparison strict: the blind solve
+// must buy speed for stages the store actually serves.
+func TestBatchCacheGolden(t *testing.T) {
+	bin := clitest.Build(t, "")
+	got := clitest.Run(t, bin,
+		"-batch",
+		"-cache",
+		"-designs", "ibex,aes,ibex,aes",
+		"-fleet", "gp.1x=1,gp.8x=1,mem.1x=1,mem.8x=1",
+		"-slack", "1.02",
+		"-scale", "0.03",
+	)
+	clitest.Golden(t, "testdata/batch_cache.golden", got, *update)
+}

@@ -36,6 +36,7 @@ import (
 	"strconv"
 	"strings"
 
+	"edacloud/internal/cache"
 	"edacloud/internal/cloud"
 	"edacloud/internal/core"
 	"edacloud/internal/flow"
@@ -59,6 +60,7 @@ func main() {
 	fleetSpec := flag.String("fleet", "", "fleet for -execute as name=count,... (default: one instance per plan-chosen type)")
 	minBill := flag.Float64("minbill", 0, "minimum billing granularity in seconds for -execute (0 = pure per-second)")
 	slack := flag.Float64("slack", 1.1, "Figure 6 deadline as a multiple of the fastest schedule")
+	useCache := flag.Bool("cache", false, "attach an artifact store to -batch: repeated stage work is planned as cache hits and the joint plan is compared against the cache-blind one")
 	workers := flag.Int("workers", 0, "bound for the characterization fan-out and kernel pools (0 = all cores; results identical)")
 	flag.Parse()
 
@@ -79,7 +81,14 @@ func main() {
 	}
 
 	if *batch {
-		batchOptimize(lib, catalog, strings.Split(*designList, ","), opts, *slack, *fleetSpec)
+		var store *cache.Store
+		if *useCache {
+			store = cache.New(0)
+		}
+		batchOptimize(lib, catalog, strings.Split(*designList, ","), opts, *slack, *fleetSpec, store)
+	}
+	if *useCache && !*batch {
+		fail(fmt.Errorf("-cache applies to -batch (the store dedups across a batch of flows)"))
 	}
 
 	if *spot {
@@ -206,7 +215,7 @@ func executePlan(lib *techlib.Library, catalog *cloud.Catalog, design string, op
 // verify it against the fleet simulation, and compare the joint plan
 // against independently optimized plans on the same fleet (static and
 // adaptive executions).
-func batchOptimize(lib *techlib.Library, catalog *cloud.Catalog, names []string, opts core.CharacterizeOptions, slack float64, fleetSpec string) {
+func batchOptimize(lib *techlib.Library, catalog *cloud.Catalog, names []string, opts core.CharacterizeOptions, slack float64, fleetSpec string, store *cache.Store) {
 	if fleetSpec == "" {
 		fleetSpec = "gp.1x=1,gp.8x=1,mem.1x=1,mem.8x=1"
 	}
@@ -246,7 +255,15 @@ func batchOptimize(lib *techlib.Library, catalog *cloud.Catalog, names []string,
 	if ibp, err = core.IndependentBatchPlan(specs, fleet); err != nil {
 		fail(err)
 	}
-	bp, err := core.OptimizeBatch(specs, fleet)
+	if store != nil {
+		// Predict which stages the store (empty here, so only earlier
+		// jobs in this batch) will serve, and keep a cache-blind copy of
+		// the specs so the two joint plans can be priced side by side.
+		if err := core.PredictCacheHits(store, lib, specs, opts); err != nil {
+			fail(err)
+		}
+	}
+	bp, err := core.OptimizeBatchOpts(specs, fleet, core.BatchOptions{Cache: store})
 	if err != nil {
 		fail(err)
 	}
@@ -294,6 +311,34 @@ func batchOptimize(lib *techlib.Library, catalog *cloud.Catalog, names []string,
 	fmt.Printf("\nBatch: $%.4f, makespan %.0fs, %.0fs queued, %d deadline(s) missed, fleet %.1f%% utilized\n",
 		sched.TotalCostUSD, sched.MakespanSec, sched.TotalWaitSec,
 		sched.DeadlinesMissed, sched.UtilizationPct)
+
+	if store != nil {
+		if sched.CacheHits != bp.Forecast.CacheHits {
+			fail(fmt.Errorf("execution billed %d cache hits, forecast predicted %d", sched.CacheHits, bp.Forecast.CacheHits))
+		}
+		// Price the cache-aware joint plan against the cache-blind one
+		// under the same predicted hits: both batches would execute over
+		// the same store, so hit stages are free either way — the aware
+		// plan wins by not buying speed for work the store serves.
+		blindSpecs := make([]core.BatchJobSpec, len(specs))
+		copy(blindSpecs, specs)
+		for i := range blindSpecs {
+			blindSpecs[i].CacheHits = nil
+		}
+		blind, err := core.OptimizeBatch(blindSpecs, fleet)
+		if err != nil {
+			fail(err)
+		}
+		st := store.Stats()
+		fmt.Printf("\nArtifact cache: %d hits billed (as forecast), %d misses, %d entries live (%d bytes)\n",
+			sched.CacheHits, st.Misses, store.Len(), store.Bytes())
+		if blind.Feasible {
+			fmt.Printf("Cache-aware plan bills $%.4f under the predicted hits; the cache-blind plan would bill $%.4f on the same store.\n",
+				batchCostUnderHits(bp, specs), batchCostUnderHits(blind, specs))
+		} else {
+			fmt.Printf("The cache-blind batch is infeasible at these deadlines; only the cache-aware plan clears them.\n")
+		}
+	}
 
 	// The baseline: every job's knapsack solved in isolation, executed
 	// on the same fleet — statically and with the adaptive policy
@@ -512,6 +557,22 @@ func picksString(p *core.Plan) string {
 		parts[i] = fmt.Sprintf("%s:%s", pick.Job, pick.Instance.Name)
 	}
 	return strings.Join(parts, " ")
+}
+
+// batchCostUnderHits prices a joint plan's bill given the predicted
+// hits: a hit stage is served from the store for free, every other
+// stage bills its pick — the common yardstick for comparing the
+// cache-aware and cache-blind plans over the same store.
+func batchCostUnderHits(bp *core.BatchPlan, specs []core.BatchJobSpec) float64 {
+	var total float64
+	for i, plan := range bp.Plans {
+		for _, pick := range plan.Picks {
+			if !specs[i].CacheHits[pick.Job] {
+				total += pick.Cost
+			}
+		}
+	}
+	return total
 }
 
 func parseDeadlines(s string) []int {

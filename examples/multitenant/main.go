@@ -32,6 +32,11 @@
 // every completion re-optimizes the uncommitted tail of the schedule,
 // and per-tenant weighted quotas meter concurrent spend.
 //
+// Part six adds the fleet-wide artifact cache: templates carry their
+// content-derived chain keys, so a job whose prefix another tenant
+// already computed is planned as cache hits — and a deadline that is
+// unattainable cold is admitted warm.
+//
 //	go run ./examples/multitenant
 package main
 
@@ -40,10 +45,12 @@ import (
 	"fmt"
 	"log"
 
+	"edacloud/internal/cache"
 	"edacloud/internal/cloud"
 	"edacloud/internal/core"
 	"edacloud/internal/designs"
 	"edacloud/internal/flow"
+	"edacloud/internal/mckp"
 	"edacloud/internal/serve"
 	"edacloud/internal/techlib"
 )
@@ -363,4 +370,88 @@ func main() {
 	fmt.Println("\nAdmission promises are kept by construction: a re-plan is only adopted")
 	fmt.Println("when every admitted job still meets the finish it was promised, and an")
 	fmt.Println("arrival that would break one is rejected at the door.")
+
+	// Part six: fleet-wide artifact dedup across tenants. Every stage of
+	// a flow has a content-derived chain key (core.CacheChain): the same
+	// design, recipe and tool version always hash to the same chain, no
+	// matter who submits it. Templates that carry their chains let the
+	// serving engine spot that an arriving job's prefix was already
+	// computed by an admitted job — of any tenant — and plan those
+	// stages as cache hits: no machine booked, nothing billed, probe
+	// time only. Here both tenants run the same design, so the shared
+	// synthesis prefix extends through the whole chain, and a deadline
+	// that is impossible cold becomes admissible warm.
+	cachedTemplates := make([]serve.Template, len(templates))
+	copy(cachedTemplates, templates)
+	for i := range cachedTemplates {
+		sk, err := core.CacheChain(lib, cachedTemplates[i].Name, charOpts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		chain := make([]cache.Key, len(sk))
+		for l, s := range sk {
+			chain[l] = s.Key
+		}
+		cachedTemplates[i].Chain = chain
+	}
+	minCold := float64(mckp.MinTotalTime(cachedTemplates[1].Classes))
+	tight := minCold - 10 // unattainable on any machine without the cache
+	mkEngine := func(tpls []serve.Template) *serve.Engine {
+		f, err := cloud.ParseFleetSpec(catalog, "gp.1x=1,gp.8x=1,mem.1x=1,mem.8x=1")
+		if err != nil {
+			log.Fatal(err)
+		}
+		e, err := serve.New(serve.Config{
+			Fleet: f,
+			Tenants: []serve.Tenant{
+				{Name: "acme", Weight: 3},
+				{Name: "blue", Weight: 1},
+			},
+			Templates: tpls,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return e
+	}
+	submit := func(e *serve.Engine, tenant, name string, arrival, deadline float64) serve.JobStatus {
+		st, err := e.Submit(serve.SubmitRequest{
+			Tenant: tenant, Template: cachedTemplates[1].Name, Name: name,
+			ArrivalSec: arrival, DeadlineSec: deadline,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return st
+	}
+	design := cachedTemplates[1].Name
+	fmt.Printf("\nFleet-wide artifact dedup: acme and blue both run %s (fastest cold chain %.0fs)\n\n", design, minCold)
+
+	blind := mkEngine(templates)
+	submit(blind, "acme", "acme-0", 0, 0)
+	st := submit(blind, "blue", "blue-0", 1, 1+tight)
+	fmt.Printf("  cache-blind engine: blue's %.0fs deadline -> %s (%s)\n", tight, st.Status, st.Reason)
+
+	warm := mkEngine(cachedTemplates)
+	submit(warm, "acme", "acme-0", 0, 0)
+	st = submit(warm, "blue", "blue-0", 1, 1+tight)
+	fmt.Printf("  chain-carrying engine: blue's %.0fs deadline -> %s\n\n", tight, st.Status)
+	if st.Status == serve.StatusAdmitted {
+		fmt.Printf("  %-12s %-10s %9s %9s %10s\n", "blue-0 stage", "instance", "start", "busy", "cost ($)")
+		for l, ps := range st.Stages {
+			inst := ps.Type
+			if ps.Cached {
+				inst = "(cache)"
+			}
+			fmt.Printf("  %-12s %-10s %8.0fs %8.0fs %10.4f\n",
+				cachedTemplates[1].Kinds[l], inst, ps.StartSec, ps.EndSec-ps.StartSec, ps.CostUSD)
+		}
+	}
+	warm.Drain()
+	wrep := warm.Report()
+	fmt.Printf("\n  warm trace: %d cache hits, total bill $%.4f, %d promises missed\n",
+		wrep.CacheHits, wrep.TotalCostUSD, wrep.MissedPromises)
+	fmt.Println("\nThe chain keys are content-addressed, so the dedup needs no coordination")
+	fmt.Println("between tenants: whoever computes a prefix first owns it, and every later")
+	fmt.Println("submission of the same work is planned around the artifacts it left behind.")
 }

@@ -1,0 +1,75 @@
+package aig
+
+// Canonical structural identity for the content-addressed artifact
+// cache: two graphs with the same fingerprint are the same circuit
+// node for node — variable layout, input/output bindings, names and
+// every AND's fanin pair — independent of how they were built or
+// serialized. FNV-1a over fixed-width words, so the hash covers
+// structure, not formatting.
+
+const (
+	fpOffset = 14695981039346656037
+	fpPrime  = 1099511628211
+)
+
+type fpHasher uint64
+
+func (h *fpHasher) word(v uint64) {
+	x := uint64(*h)
+	for i := 0; i < 8; i++ {
+		x ^= (v >> (8 * i)) & 0xff
+		x *= fpPrime
+	}
+	*h = fpHasher(x)
+}
+
+func (h *fpHasher) str(s string) {
+	h.word(uint64(len(s)))
+	x := uint64(*h)
+	for i := 0; i < len(s); i++ {
+		x ^= uint64(s[i])
+		x *= fpPrime
+	}
+	*h = fpHasher(x)
+}
+
+// Fingerprint returns the graph's canonical structural hash.
+func (g *Graph) Fingerprint() uint64 {
+	h := fpHasher(fpOffset)
+	h.word(uint64(g.NumVars()))
+	h.word(uint64(g.NumInputs()))
+	h.word(uint64(g.NumOutputs()))
+	for i := 0; i < g.NumInputs(); i++ {
+		h.str(g.InputName(i))
+		h.word(uint64(g.Input(i)))
+	}
+	for i := 0; i < g.NumOutputs(); i++ {
+		h.str(g.OutputName(i))
+		h.word(uint64(g.Output(i)))
+	}
+	for v := 0; v < g.NumVars(); v++ {
+		if !g.IsAnd(v) {
+			continue
+		}
+		a, b := g.Fanins(v)
+		h.word(uint64(int64(v)))
+		h.word(uint64(a))
+		h.word(uint64(b))
+	}
+	return uint64(h)
+}
+
+// ApproxBytes estimates the graph's in-memory footprint — the unit a
+// byte-budgeted artifact cache accounts this graph in.
+func (g *Graph) ApproxBytes() int64 {
+	// Two fanin literals per var plus node bookkeeping, and the
+	// input/output binding tables with their names.
+	b := int64(g.NumVars()) * 24
+	for i := 0; i < g.NumInputs(); i++ {
+		b += 16 + int64(len(g.InputName(i)))
+	}
+	for i := 0; i < g.NumOutputs(); i++ {
+		b += 16 + int64(len(g.OutputName(i)))
+	}
+	return b
+}

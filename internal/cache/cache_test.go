@@ -1,0 +1,134 @@
+package cache
+
+import "testing"
+
+func entry(k Key, bytes int64) *Entry {
+	return &Entry{Key: k, Stage: "s", Bytes: bytes}
+}
+
+func TestChainDeterministicAndSensitive(t *testing.T) {
+	base := Chain(42, "synthesis", 7, "synth/1")
+	if base == 0 {
+		t.Fatal("chain key collapsed to the uncacheable sentinel")
+	}
+	if again := Chain(42, "synthesis", 7, "synth/1"); again != base {
+		t.Fatalf("chain not deterministic: %d vs %d", base, again)
+	}
+	variants := []Key{
+		Chain(43, "synthesis", 7, "synth/1"),
+		Chain(42, "placement", 7, "synth/1"),
+		Chain(42, "synthesis", 8, "synth/1"),
+		Chain(42, "synthesis", 7, "synth/2"),
+	}
+	for i, v := range variants {
+		if v == base {
+			t.Errorf("variant %d did not change the key", i)
+		}
+	}
+}
+
+func TestAccessBillsHitsAndMisses(t *testing.T) {
+	s := New(0)
+	if _, ok := s.Access(1); ok {
+		t.Fatal("hit on empty store")
+	}
+	s.Put(entry(1, 10))
+	if _, ok := s.Access(1); !ok {
+		t.Fatal("miss after put")
+	}
+	if _, ok := s.Peek(2); ok {
+		t.Fatal("peek invented an entry")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Fatalf("stats = %+v, want 1 hit, 1 miss, 1 put", st)
+	}
+	if st.BytesLive != 10 {
+		t.Fatalf("BytesLive = %d, want 10", st.BytesLive)
+	}
+	// Peek must not bill.
+	s.Peek(1)
+	if got := s.Stats().Hits; got != 1 {
+		t.Fatalf("peek billed a hit: %d", got)
+	}
+}
+
+func TestEvictOverIsLRU(t *testing.T) {
+	s := New(30)
+	s.Put(entry(1, 10))
+	s.Put(entry(2, 10))
+	s.Put(entry(3, 10))
+	s.Access(1) // 1 is now most recently used
+	s.Put(entry(4, 10))
+	if n := s.EvictOver(); n != 1 {
+		t.Fatalf("evicted %d entries, want 1", n)
+	}
+	// 2 was least recently used.
+	if _, ok := s.Peek(2); ok {
+		t.Fatal("LRU entry 2 survived eviction")
+	}
+	for _, k := range []Key{1, 3, 4} {
+		if _, ok := s.Peek(k); !ok {
+			t.Fatalf("entry %d evicted out of LRU order", k)
+		}
+	}
+	st := s.Stats()
+	if st.Evictions != 1 || st.BytesEvicted != 10 || st.BytesLive != 30 {
+		t.Fatalf("stats after eviction = %+v", st)
+	}
+}
+
+func TestZeroBudgetNeverEvicts(t *testing.T) {
+	s := New(0)
+	for k := Key(1); k <= 100; k++ {
+		s.Put(entry(k, 1<<20))
+	}
+	if n := s.EvictOver(); n != 0 {
+		t.Fatalf("unlimited store evicted %d entries", n)
+	}
+	if s.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", s.Len())
+	}
+}
+
+func TestPutReplacesAndAdjustsBytes(t *testing.T) {
+	s := New(0)
+	s.Put(entry(1, 10))
+	s.Put(entry(1, 25))
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	if b := s.Bytes(); b != 25 {
+		t.Fatalf("Bytes = %d, want 25", b)
+	}
+}
+
+func TestPredictChainsSeesStoreAndPendingPrefixes(t *testing.T) {
+	s := New(0)
+	s.Put(entry(7, 1))
+	chains := [][]Key{
+		{7, 8, 9},  // 7 in store; 8, 9 cold
+		{7, 8, 10}, // 7 in store; 8 pending from chain 0; 10 cold
+		{0, 8},     // key 0 is uncacheable, never a hit; 8 still pending
+	}
+	hits := s.PredictChains(chains)
+	want := [][]bool{
+		{true, false, false},
+		{true, true, false},
+		{false, true},
+	}
+	for i := range want {
+		for l := range want[i] {
+			if hits[i][l] != want[i][l] {
+				t.Errorf("chain %d stage %d: hit=%v, want %v", i, l, hits[i][l], want[i][l])
+			}
+		}
+	}
+	// Prediction is read-only.
+	if st := s.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("PredictChains billed the store: %+v", st)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("PredictChains mutated the store: %d entries", s.Len())
+	}
+}

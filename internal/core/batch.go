@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"edacloud/internal/cache"
 	"edacloud/internal/cloud"
 	"edacloud/internal/designs"
 	"edacloud/internal/flow"
@@ -32,6 +33,12 @@ type BatchJobSpec struct {
 	// DeadlineSec is the job's completion deadline in whole simulated
 	// seconds, queueing included; 0 means none.
 	DeadlineSec int
+	// CacheHits marks the stages PredictCacheHits expects the artifact
+	// cache to serve when the batch executes (store contents plus
+	// within-batch dedup). OptimizeBatchOpts collapses these stages to
+	// the cache-probe constant before solving. Nil means no prediction —
+	// the cache-blind path, bit-identical to earlier behavior.
+	CacheHits map[JobKind]bool
 }
 
 // BatchOptions shapes a batch optimization for preemptible capacity
@@ -52,6 +59,12 @@ type BatchOptions struct {
 	// tables must then share labels across stages — build them with
 	// BuildHoldDeploymentProblem.
 	Hold bool
+	// Cache attaches a content-addressed artifact store to the
+	// execution: ExecuteBatchPlan hands it to the flow scheduler, so
+	// stages whose chain key is present are adopted instead of run and
+	// shared prefixes within the batch settle as one compute plus billed
+	// probes. Nil runs cache-less.
+	Cache *cache.Store
 }
 
 // BatchPlan is a co-optimized batch deployment: one executable Plan
@@ -149,6 +162,7 @@ func forecastFor(specs []BatchJobSpec, plans []*Plan, fleet *cloud.Fleet, opts B
 				Kind:    pick.Job,
 				Type:    pick.Instance,
 				Seconds: pick.Seconds,
+				Cached:  pick.Cached,
 			})
 		}
 		fjobs[i] = fj
@@ -210,11 +224,15 @@ func OptimizeBatchOpts(specs []BatchJobSpec, fleet *cloud.Fleet, opts BatchOptio
 		if err != nil {
 			return nil, err
 		}
-		probs[i] = restricted
+		hits := hitVector(spec.CacheHits)
+		probs[i] = restricted.CacheAdjusted(hits)
 		classes := restricted.Classes
 		if len(opts.Hazards) > 0 {
 			classes = mckp.RiskAdjust(classes, opts.Hazards, opts.Retry.BackoffSec)
 		}
+		// Cache adjustment comes after risk adjustment: a cached stage
+		// books no lease, so it carries no revocation exposure to price.
+		classes = mckp.CacheAdjust(classes, hits, cache.ProbeTimeSec)
 		jobs[i] = mckp.BatchJob{Name: spec.Name, Classes: classes, DeadlineSec: spec.DeadlineSec, Hold: opts.Hold}
 	}
 	sel, err := mckp.BatchOptimize(jobs, capacity)
@@ -357,6 +375,6 @@ func ExecuteBatchPlan(lib *techlib.Library, specs []BatchJobSpec, bp *BatchPlan,
 	case adaptive:
 		policy = flow.AdaptivePolicy{}
 	}
-	sched := &flow.Scheduler{Workers: opts.Workers, Fleet: fleet, Policy: policy}
+	sched := &flow.Scheduler{Workers: opts.Workers, Fleet: fleet, Policy: policy, Cache: bp.Options.Cache}
 	return sched.Run(nil, jobs)
 }

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"edacloud/internal/cache"
+	"edacloud/internal/designs"
+	"edacloud/internal/flow"
+	"edacloud/internal/mckp"
+	"edacloud/internal/perf"
+	"edacloud/internal/techlib"
+)
+
+// This file makes the deployment optimizer cache-aware. A predicted
+// artifact-cache hit collapses a stage's planned runtime and cost to
+// the cache-probe constant, which changes the per-job DP's picks, the
+// batch co-optimizer's shadow prices, and the forecast the plan is
+// validated against. Prediction and execution share one decision
+// procedure — the chain keys a planning pipeline computes are the keys
+// the executing pipelines look up, and cache.Store.PredictChains is
+// the scheduler's serial accounting replay run read-only — so a
+// forecast under predicted hits matches the cached execution exactly.
+
+// planningPipeline builds the pipeline whose stage key chain matches
+// what ExecuteBatchPlan's scheduler jobs will run: the default
+// four-stage flow under the characterization recipe, instrumented
+// (the scheduler always probes, and instrumented routing keys are
+// worker-independent).
+func planningPipeline(opts CharacterizeOptions) *flow.Pipeline {
+	return flow.NewPipeline(
+		flow.WithRecipe(opts.Recipe),
+		// Planning never runs a stage, so the factory body is dead code —
+		// but its presence marks the pipeline instrumented, which is what
+		// keys routing the same way the scheduler's probed jobs do.
+		flow.WithNewProbe(func(flow.JobKind) *perf.Probe { return nil }),
+	)
+}
+
+// CacheChain computes the stage key chain of one design's planned flow
+// — the identity the artifact cache stores its artifacts under. opts
+// must carry the same Scale/Recipe the execution will run with.
+func CacheChain(lib *techlib.Library, design string, opts CharacterizeOptions) ([]flow.StageKey, error) {
+	opts = opts.withDefaults()
+	g, err := designs.EvalDesign(design, opts.Scale)
+	if err != nil {
+		return nil, err
+	}
+	return planningPipeline(opts).CacheKeys(g, lib), nil
+}
+
+// PredictCacheHits fills each spec's CacheHits with the stages the
+// store will serve as hits when the batch executes: entries already in
+// the store, plus within-batch dedup — a stage an earlier job of the
+// same batch computes is a billed hit for every later job sharing the
+// chain prefix. The store is not touched. opts must carry the same
+// Scale/Recipe the execution (ExecuteBatchPlan) will run with.
+func PredictCacheHits(store *cache.Store, lib *techlib.Library, specs []BatchJobSpec, opts CharacterizeOptions) error {
+	if store == nil {
+		return nil
+	}
+	opts = opts.withDefaults()
+	pipe := planningPipeline(opts)
+	chains := make([][]cache.Key, len(specs))
+	keyed := make([][]flow.StageKey, len(specs))
+	byDesign := map[string][]flow.StageKey{}
+	for i, spec := range specs {
+		sk, ok := byDesign[spec.Char.Design]
+		if !ok {
+			g, err := designs.EvalDesign(spec.Char.Design, opts.Scale)
+			if err != nil {
+				return err
+			}
+			sk = pipe.CacheKeys(g, lib)
+			byDesign[spec.Char.Design] = sk
+		}
+		keyed[i] = sk
+		chain := make([]cache.Key, len(sk))
+		for l, s := range sk {
+			chain[l] = s.Key
+		}
+		chains[i] = chain
+	}
+	hits := store.PredictChains(chains)
+	for i := range specs {
+		m := map[flow.JobKind]bool{}
+		for l, s := range keyed[i] {
+			if hits[i][l] {
+				m[s.Kind] = true
+			}
+		}
+		specs[i].CacheHits = m
+	}
+	return nil
+}
+
+// hitVector renders a spec's predicted hits in class order (JobKinds
+// order — the order BuildDeploymentProblem emits classes in).
+func hitVector(hits map[flow.JobKind]bool) []bool {
+	if len(hits) == 0 {
+		return nil
+	}
+	kinds := JobKinds()
+	out := make([]bool, len(kinds))
+	for l, k := range kinds {
+		out[l] = hits[k]
+	}
+	return out
+}
+
+// CacheAdjusted returns a copy of the problem whose hit stages are
+// collapsed to the cache-probe constant: every choice of a hit class
+// runs for cache.ProbeSeconds at zero cost and is marked Cached, in
+// both the knapsack classes and the executable stage table (so plans,
+// forecasts and adaptive choice tables all price the hit identically).
+// A nil/empty hit vector returns the problem unchanged.
+func (prob *DeploymentProblem) CacheAdjusted(hits []bool) *DeploymentProblem {
+	any := false
+	for l := range prob.Stages {
+		if l < len(hits) && hits[l] {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return prob
+	}
+	out := &DeploymentProblem{
+		Design:  prob.Design,
+		Classes: mckp.CacheAdjust(prob.Classes, hits, cache.ProbeTimeSec),
+	}
+	out.Stages = make([][]StageChoice, len(prob.Stages))
+	for l, stage := range prob.Stages {
+		if l >= len(hits) || !hits[l] {
+			out.Stages[l] = stage
+			continue
+		}
+		adj := make([]StageChoice, len(stage))
+		for j, c := range stage {
+			adj[j] = StageChoice{Job: c.Job, Instance: c.Instance,
+				Seconds: cache.ProbeSeconds, Cost: 0, Cached: true}
+		}
+		out.Stages[l] = adj
+	}
+	return out
+}

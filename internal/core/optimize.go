@@ -18,6 +18,11 @@ type StageChoice struct {
 	Instance cloud.InstanceType
 	Seconds  float64
 	Cost     float64
+	// Cached marks a predicted artifact-cache hit: the stage is expected
+	// to be served from the store at the probe constant instead of run,
+	// so Seconds/Cost are the probe's, not the instance's. Plans carry
+	// the flag into forecasts and executions (see CacheAdjusted).
+	Cached bool
 }
 
 // DeploymentProblem is the optimizer input: for each flow stage, the

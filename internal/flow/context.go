@@ -39,6 +39,11 @@ type RunContext struct {
 	Reports map[JobKind]*perf.Report
 
 	cfg *config
+	// ids memoizes the artifacts' canonical content hashes (see
+	// identity.go); cacheSteps records the run's frozen-phase cache
+	// lookups for the scheduler's serial accounting replay.
+	ids        artifactIDs
+	cacheSteps []cacheStep
 }
 
 // StageConfig resolves the pipeline-level execution configuration for

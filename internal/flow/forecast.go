@@ -23,6 +23,11 @@ type ForecastStage struct {
 	Kind    JobKind
 	Type    cloud.InstanceType
 	Seconds float64
+	// Cached marks a predicted artifact-cache hit: the placement engine
+	// prices the stage at the probe constant and — unless the job holds
+	// one machine — books no lease for it, exactly as the execution
+	// will. Seconds is ignored for cached stages.
+	Cached bool
 }
 
 // ForecastJob is one job of a predicted batch, in stage order.
@@ -82,7 +87,7 @@ func ForecastGated(fleet *cloud.Fleet, jobs []ForecastJob, gate Gate) (*Schedule
 				return nil, fmt.Errorf("flow: forecast job %q holds one machine but stage %s requests %s after %s",
 					fj.Name, st.Kind, st.Type.Name, fj.Stages[0].Type.Name)
 			}
-			if st.Type.Name == "" {
+			if st.Type.Name == "" && !st.Cached {
 				return nil, fmt.Errorf("flow: forecast job %q stage %s requests no instance type", fj.Name, st.Kind)
 			}
 			if st.Seconds < 0 {
@@ -94,6 +99,12 @@ func ForecastGated(fleet *cloud.Fleet, jobs []ForecastJob, gate Gate) (*Schedule
 			p.kinds = append(p.kinds, st.Kind)
 			p.requests[st.Kind] = st.Type
 			p.seconds[st.Kind] = st.Seconds
+			if st.Cached {
+				if p.cached == nil {
+					p.cached = map[JobKind]bool{}
+				}
+				p.cached[st.Kind] = true
+			}
 		}
 		prepared[i] = p
 	}

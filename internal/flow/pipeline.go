@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"edacloud/internal/aig"
+	"edacloud/internal/cache"
 	"edacloud/internal/perf"
 	"edacloud/internal/place"
 	"edacloud/internal/route"
@@ -51,6 +52,8 @@ type config struct {
 	checkpoints     func(*Checkpoint)
 	stages          []Stage
 	substitutes     []Stage
+	cache           *cache.Store
+	cacheFrozen     bool
 }
 
 // Option configures a Pipeline at construction time.
@@ -212,18 +215,38 @@ func (p *Pipeline) Run(g *aig.Graph, lib *techlib.Library) (*RunContext, error) 
 
 // RunOn executes the pipeline's stages in order against an existing
 // RunContext, checking the context for cancellation at every stage
-// boundary.
+// boundary. With a cache attached (WithCache, or the Scheduler's
+// frozen form), each cacheable stage is first looked up by its chain
+// key and a verified hit adopts the stored artifacts instead of
+// running the engine.
 func (p *Pipeline) RunOn(rc *RunContext) error {
 	total := len(p.stages)
+	var chain cache.Key
 	for i, s := range p.stages {
 		if err := rc.Ctx.Err(); err != nil {
 			return fmt.Errorf("flow: %s: %w", s.Name(), err)
+		}
+		var key cache.Key
+		var collision bool
+		if p.cfg.cache != nil {
+			key = p.stageKey(rc, s, chain)
+			chain = key
+			if key != 0 {
+				var adopted bool
+				adopted, collision = p.tryAdopt(rc, s, key, i, total)
+				if adopted {
+					continue
+				}
+			}
 		}
 		p.emit(Event{Type: StageStarted, Stage: s.Name(), Kind: s.Kind(), Index: i, Total: total})
 		err := s.Run(rc)
 		p.emit(Event{Type: StageFinished, Stage: s.Name(), Kind: s.Kind(), Index: i, Total: total, Err: err})
 		if err != nil {
 			return fmt.Errorf("flow: %s: %w", s.Name(), err)
+		}
+		if key != 0 && !collision {
+			p.recordComputed(rc, s, key)
 		}
 		if p.cfg.checkpoints != nil {
 			p.cfg.checkpoints(rc.Checkpoint())

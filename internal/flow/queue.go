@@ -3,6 +3,7 @@ package flow
 import (
 	"fmt"
 
+	"edacloud/internal/cache"
 	"edacloud/internal/cloud"
 )
 
@@ -156,6 +157,32 @@ func simulate(fleet *cloud.Fleet, policy Policy, jobs []Job, prepared []*prepare
 // queue under the job's RetryPolicy.
 func placeNext(fleet *cloud.Fleet, policy Policy, r *runner, gate Gate) placement {
 	k := r.p.kinds[r.stage]
+	// A cached stage on a job not holding a machine books no lease at
+	// all: the probe occupies no instance, passes no admission gate
+	// (it spends nothing) and cannot be revoked. A job that IS holding
+	// its machine falls through to the normal lease-extension path with
+	// the probe-constant duration, keeping the held timeline contiguous.
+	if r.p.cached[k] && r.held < 0 {
+		start := r.ready
+		r.attempts[r.stage]++
+		if !r.started {
+			r.started = true
+			r.startSec = start
+		}
+		res := &r.p.res
+		res.Stages = append(res.Stages, StageResult{
+			Kind:     k,
+			Seconds:  cache.ProbeSeconds,
+			Cached:   true,
+			StartSec: start,
+			Attempt:  r.attempts[r.stage],
+		})
+		res.Seconds += cache.ProbeSeconds
+		r.doneSec[r.stage] = cache.ProbeSeconds
+		r.ready = start + cache.ProbeSeconds
+		r.stage++
+		return stagePlaced
+	}
 	req := r.p.requests[k]
 	if o, ok := r.override[k]; ok {
 		req = o
@@ -239,6 +266,7 @@ func placeNext(fleet *cloud.Fleet, policy Policy, r *runner, gate Gate) placemen
 		Seconds:  dur,
 		CostUSD:  cost,
 		Attempt:  r.attempts[r.stage],
+		Cached:   r.p.cached[k],
 	})
 	res.Seconds += dur
 	r.waitSec += start - r.ready

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"edacloud/internal/aig"
+	"edacloud/internal/cache"
 	"edacloud/internal/cloud"
 	"edacloud/internal/par"
 	"edacloud/internal/perf"
@@ -79,6 +80,10 @@ type StageResult struct {
 	// Attempt is the 1-based run count of this stage kind within the
 	// job: 1 for a first run, higher for retries after revocations.
 	Attempt int
+	// Cached marks a stage served from the artifact cache: its Seconds
+	// are the cache-probe constant and — unless the job was holding a
+	// machine across stages — it booked no lease and cost nothing.
+	Cached bool
 	// Revoked marks an attempt cut short by a spot revocation at
 	// RevokedAt; Seconds then holds only the survived (lost) work and
 	// the stage re-enters the queue from its last checkpoint.
@@ -153,6 +158,8 @@ type Schedule struct {
 	// model.
 	Revocations int
 	RetriedSec  float64
+	// CacheHits counts the stages served from the artifact cache.
+	CacheHits int
 }
 
 // Scheduler runs flow jobs over a bounded fleet of simulated cloud
@@ -178,6 +185,14 @@ type Scheduler struct {
 	// means SingleInstance. Stage-level policies (ReInstance true)
 	// require an explicit Fleet.
 	Policy Policy
+	// Cache is the fleet-wide content-addressed artifact store. When
+	// set, pipelines look stages up under the frozen-store discipline
+	// (Peek only — race-free in the parallel phase) and the scheduler
+	// settles all accounting serially in job order before placement, so
+	// hit/miss billing, schedules and artifacts are bit-identical at
+	// any worker count. Eviction to the store's byte budget runs once,
+	// at the end of the batch.
+	Cache *cache.Store
 }
 
 // preparedJob is the phase-1 output for one job: its executed
@@ -200,6 +215,11 @@ type preparedJob struct {
 	// start — the arrival time of a job entering a rolling-horizon
 	// forecast (ForecastJob.ReadySec). Zero for batch runs.
 	readySec float64
+	// cached marks the stages the batch settled as artifact-cache hits
+	// (adopted, or deduped against an earlier job of the same batch):
+	// they run for the probe constant and book no lease unless the job
+	// holds its machine.
+	cached map[JobKind]bool
 }
 
 // stageSeconds predicts stage k's runtime on instance type it. Order
@@ -210,6 +230,11 @@ type preparedJob struct {
 // type than its probe was sized for; and the probed report again as
 // the last resort.
 func (p *preparedJob) stageSeconds(job *Job, k JobKind, it cloud.InstanceType) float64 {
+	// A cached stage costs the probe constant on any machine — checked
+	// first so forecasts and executions price hits identically.
+	if p.cached[k] {
+		return cache.ProbeSeconds
+	}
 	if p.seconds != nil {
 		return p.seconds[k]
 	}
@@ -246,10 +271,25 @@ func (s *Scheduler) Run(ctx context.Context, jobs []Job) (*Schedule, error) {
 	}
 
 	// Phase 1: run every job's pipeline (the real compute) in parallel.
+	// With a cache attached the store is frozen for this phase: runs
+	// only Peek and record their lookups.
 	pool := par.Fixed(s.Workers)
 	prepared := par.Map(pool, len(jobs), func(i int) *preparedJob {
-		return prepare(ctx, &jobs[i], policy)
+		return prepare(ctx, &jobs[i], policy, s.Cache)
 	})
+
+	// Settle the cache serially in job order: bill hits and misses,
+	// land computed entries (which is what turns two jobs sharing a
+	// prefix into one compute plus one billed hit), then enforce the
+	// byte budget once for the whole batch.
+	if s.Cache != nil {
+		for i := range prepared {
+			if prepared[i].res.Run != nil {
+				prepared[i].cached = replayAccounting(s.Cache, prepared[i].res.Run)
+			}
+		}
+		s.Cache.EvictOver()
+	}
 
 	// Phase 2: place stages onto the fleet in a serial, deterministic
 	// event simulation. With the internally built dedicated fleet, job
@@ -274,6 +314,11 @@ func buildSchedule(policyName string, fleet *cloud.Fleet, prepared []*preparedJo
 		sched.TotalWaitSec += r.WaitSec
 		sched.Revocations += r.Revocations
 		sched.RetriedSec += r.RetriedSec
+		for _, st := range r.Stages {
+			if st.Cached {
+				sched.CacheHits++
+			}
+		}
 		if r.FinishSec > sched.MakespanSec {
 			sched.MakespanSec = r.FinishSec
 		}
@@ -294,7 +339,7 @@ func buildSchedule(policyName string, fleet *cloud.Fleet, prepared []*preparedJo
 // requests the placement simulation needs. It performs no fleet
 // accounting — everything here is independent per job, which is what
 // lets phase 1 fan out across cores.
-func prepare(ctx context.Context, job *Job, policy Policy) *preparedJob {
+func prepare(ctx context.Context, job *Job, policy Policy, store *cache.Store) *preparedJob {
 	p := &preparedJob{res: JobResult{Name: job.Name, Instance: job.Instance}}
 	if err := ctx.Err(); err != nil {
 		p.res.Err = err
@@ -307,12 +352,16 @@ func prepare(ctx context.Context, job *Job, policy Policy) *preparedJob {
 
 	estCells := EstimateCells(job.Design.NumAnds())
 	p.requests = map[JobKind]cloud.InstanceType{}
-	opts := append([]Option{
+	opts := []Option{
 		WithContext(ctx),
 		WithNewProbe(func(k JobKind) *perf.Probe {
 			return NewJobProbe(probeVCPUs(job, p.requests[k]), estCells)
 		}),
-	}, job.Options...)
+	}
+	if store != nil {
+		opts = append(opts, withFrozenCache(store))
+	}
+	opts = append(opts, job.Options...)
 	pipe := NewPipeline(opts...)
 
 	// The pipeline's stage list determines which stages will run;

@@ -1,0 +1,40 @@
+package mckp
+
+// CacheAdjust rewrites a choice table for predicted artifact-cache
+// hits: every item of a hit class collapses to the cache-probe cost —
+// probeSec runtime, zero dollars — because a cached stage is served
+// from the store no matter which machine the plan would have bought
+// for it. Collapsing all items (rather than dropping the class) keeps
+// the table's shape, so selections solved against the adjusted table
+// index directly into the original classes. The input is never
+// mutated; hits may be shorter than classes (missing tail = miss), and
+// a nil hits slice returns the input unchanged (no-hit tables must
+// stay bit-identical to the cache-blind path).
+func CacheAdjust(classes []Class, hits []bool, probeSec int) []Class {
+	if probeSec < 0 {
+		probeSec = 0
+	}
+	any := false
+	for l := range classes {
+		if l < len(hits) && hits[l] {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return classes
+	}
+	out := make([]Class, len(classes))
+	for l, cl := range classes {
+		if l >= len(hits) || !hits[l] {
+			out[l] = cl
+			continue
+		}
+		adj := Class{Name: cl.Name, Items: make([]Item, len(cl.Items))}
+		for j, it := range cl.Items {
+			adj.Items[j] = Item{Label: it.Label, TimeSec: probeSec, Cost: 0}
+		}
+		out[l] = adj
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+package mckp
+
+import "testing"
+
+func TestCacheAdjust(t *testing.T) {
+	classes := []Class{
+		{Name: "synthesis", Items: []Item{{Label: "gp.1x", TimeSec: 40, Cost: 2}, {Label: "gp.8x", TimeSec: 10, Cost: 5}}},
+		{Name: "placement", Items: []Item{{Label: "mem.2x", TimeSec: 30, Cost: 3}}},
+	}
+	adj := CacheAdjust(classes, []bool{true, false}, 1)
+	for j, it := range adj[0].Items {
+		if it.TimeSec != 1 || it.Cost != 0 {
+			t.Fatalf("hit item %d not collapsed: %+v", j, it)
+		}
+		if it.Label != classes[0].Items[j].Label {
+			t.Fatalf("hit item %d lost its label", j)
+		}
+	}
+	if adj[1].Items[0] != classes[1].Items[0] {
+		t.Fatal("miss class was rewritten")
+	}
+	// The input must never be mutated.
+	if classes[0].Items[0].TimeSec != 40 {
+		t.Fatal("CacheAdjust mutated its input")
+	}
+	// No hits (nil or all-false) must return the identical slice, so
+	// the cache-blind path stays bit-identical.
+	if got := CacheAdjust(classes, nil, 1); &got[0] != &classes[0] {
+		t.Fatal("nil hits did not return the input unchanged")
+	}
+	if got := CacheAdjust(classes, []bool{false, false}, 1); &got[0] != &classes[0] {
+		t.Fatal("all-miss hits did not return the input unchanged")
+	}
+	// A short hits vector treats the missing tail as misses.
+	short := CacheAdjust(classes, []bool{true}, 1)
+	if short[1].Items[0] != classes[1].Items[0] {
+		t.Fatal("short hits vector rewrote the tail class")
+	}
+	// MinTotalTime must see the collapsed runtimes.
+	if mt := MinTotalTime(adj); mt != 1+30 {
+		t.Fatalf("MinTotalTime over adjusted classes = %d, want 31", mt)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strconv"
 
+	"edacloud/internal/cache"
 	"edacloud/internal/cloud"
 	"edacloud/internal/flow"
 	"edacloud/internal/mckp"
@@ -48,6 +49,14 @@ type Engine struct {
 	jobs   []*record
 	prices map[string]float64
 
+	// seen maps each artifact chain key an admitted job will compute to
+	// the job that introduced it — the serving layer's fleet-wide dedup
+	// index across tenants. A stage whose key another job introduced is
+	// predicted a cache hit and priced at the probe constant. The set
+	// never shrinks (not even on cancel: a hit once promised must stay a
+	// hit, or a re-plan could break an admission promise).
+	seen map[cache.Key]int
+
 	// Replans counts re-optimizations run; Adopted counts those whose
 	// plan replaced the incumbent; Released totals leases released.
 	Replans, Adopted, Released int
@@ -66,6 +75,7 @@ func New(cfg Config) (*Engine, error) {
 		caps:      quotaCaps(cfg.Fleet, cfg.Tenants),
 		fleet:     cfg.Fleet,
 		prices:    map[string]float64{},
+		seen:      map[cache.Key]int{},
 	}
 	for _, t := range cfg.Tenants {
 		e.tenants[t.Name] = t
@@ -94,6 +104,44 @@ func (e *Engine) tenantOf(jobName string) string {
 		return ""
 	}
 	return e.jobs[id].status.Tenant
+}
+
+// chainHits renders one job's predicted cache hits over its template's
+// full key chain: a stage hits iff its key is non-zero and a different
+// admitted job introduced it first (the introducer computes, everyone
+// later probes). Nil when the template carries no chain or nothing
+// hits — the cache-blind shape, bit-identical to earlier behavior.
+func (e *Engine) chainHits(r *record) []bool {
+	if len(r.tpl.Chain) == 0 {
+		return nil
+	}
+	hits := make([]bool, len(r.tpl.Chain))
+	any := false
+	for l, k := range r.tpl.Chain {
+		owner, ok := e.seen[k]
+		if k != 0 && ok && owner != r.status.ID {
+			hits[l] = true
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return hits
+}
+
+// registerChain records an admitted job as the introducer of every
+// chain key no earlier job owns — from here on, later submissions
+// sharing the prefix are predicted hits.
+func (e *Engine) registerChain(r *record) {
+	for _, k := range r.tpl.Chain {
+		if k == 0 {
+			continue
+		}
+		if _, ok := e.seen[k]; !ok {
+			e.seen[k] = r.status.ID
+		}
+	}
 }
 
 // SubmitRequest describes one arriving job.
@@ -141,8 +189,12 @@ func (e *Engine) Submit(req SubmitRequest) (JobStatus, error) {
 	}
 	e.jobs = append(e.jobs, r)
 
+	// The quick-reject bound must see the same prices the joint solve
+	// will: a job whose shared prefix is already cached can attain a
+	// deadline its cold runtimes could not.
+	quickClasses := mckp.CacheAdjust(tpl.Classes, e.chainHits(r), cache.ProbeTimeSec)
 	if deadline := deadlineInt(req.DeadlineSec); deadline > 0 &&
-		readyInt(req.ArrivalSec)+mckp.MinTotalTime(tpl.Classes) > deadline {
+		readyInt(req.ArrivalSec)+mckp.MinTotalTime(quickClasses) > deadline {
 		r.status.Status = StatusRejected
 		r.status.Reason = "deadline unattainable even uncontended"
 		return r.status, nil
@@ -168,6 +220,7 @@ func (e *Engine) Submit(req SubmitRequest) (JobStatus, error) {
 	}
 	e.adopt(cand)
 	r.status.Status = StatusAdmitted
+	e.registerChain(r)
 	// Only deadlined jobs get a binding promise: a deadline-free job
 	// asked for best effort, and pinning its first forecast would make
 	// every later arrival rejectable for delaying it.
@@ -371,9 +424,14 @@ func (e *Engine) replan(extra *record) (*plan, error) {
 		freeAt[label] = append(freeAt[label], readyInt(inst.FreeAtSec))
 	}
 	bjobs := make([]mckp.BatchJob, len(active))
+	tailHits := make([][]bool, len(active))
 	for n, a := range active {
 		deadline := deadlineInt(a.eff)
 		classes := a.r.tpl.Classes[a.kept:]
+		if hits := e.chainHits(a.r); hits != nil {
+			tailHits[n] = hits[a.kept:]
+			classes = mckp.CacheAdjust(classes, tailHits[n], cache.ProbeTimeSec)
+		}
 		if deadline > 0 && a.ready+mckp.MinTotalTime(classes) > deadline {
 			// Doomed under any picks: solve it deadline-free so the batch
 			// stays feasible; the forecast below will count the miss and the
@@ -424,6 +482,7 @@ func (e *Engine) replan(extra *record) (*plan, error) {
 				Kind:    a.r.tpl.Kinds[a.kept+l],
 				Type:    typ,
 				Seconds: float64(it.TimeSec),
+				Cached:  l < len(tailHits[n]) && tailHits[n][l],
 			})
 		}
 		fjobs[n] = fj
@@ -444,7 +503,7 @@ func (e *Engine) replan(extra *record) (*plan, error) {
 			tail[s] = PlannedStage{
 				Kind: st.Kind, Type: st.Type.Name,
 				StartSec: st.StartSec, EndSec: st.StartSec + st.Seconds,
-				CostUSD: st.CostUSD,
+				CostUSD: st.CostUSD, Cached: st.Cached,
 			}
 		}
 		p.tails[a.id] = tail

@@ -26,6 +26,10 @@ type Report struct {
 	// breaks.
 	MissedDeadlines int `json:"missed_deadlines"`
 	MissedPromises  int `json:"missed_promises"`
+	// CacheHits counts planned stages served from the shared artifact
+	// cache across the whole trace — fleet-wide dedup over tenants
+	// submitting templates with a common chain prefix.
+	CacheHits int `json:"cache_hits,omitempty"`
 	// Replans/Adopted/ReleasedLeases expose the rolling-horizon
 	// machinery: re-optimizations run, plans adopted over the
 	// incumbent, and future leases released for re-booking.
@@ -71,6 +75,11 @@ func (e *Engine) Report() *Report {
 		Statuses:       e.Jobs(),
 	}
 	for _, s := range r.Statuses {
+		for _, st := range s.Stages {
+			if st.Cached {
+				r.CacheHits++
+			}
+		}
 		switch s.Status {
 		case StatusRejected:
 			r.Rejected++
@@ -108,6 +117,9 @@ func (r *Report) String() string {
 		r.TotalCostUSD, r.MakespanSec, r.MissedDeadlines, r.MissedPromises)
 	fmt.Fprintf(&b, "replans %d (adopted %d, leases released %d)\n",
 		r.Replans, r.Adopted, r.ReleasedLeases)
+	if r.CacheHits > 0 {
+		fmt.Fprintf(&b, "cache hits %d\n", r.CacheHits)
+	}
 	for _, t := range r.Tenants {
 		fmt.Fprintf(&b, "tenant %s w=%.1f quota=$%.4f/h: submitted %d admitted %d rejected %d done %d canceled %d cost $%.4f\n",
 			t.Name, t.Weight, t.QuotaUSDH, t.Submitted, t.Admitted, t.Rejected, t.Done, t.Canceled, t.CostUSD)

@@ -27,6 +27,7 @@ package serve
 import (
 	"fmt"
 
+	"edacloud/internal/cache"
 	"edacloud/internal/cloud"
 	"edacloud/internal/flow"
 	"edacloud/internal/mckp"
@@ -42,6 +43,15 @@ type Template struct {
 	// Kinds is the stage order; Classes is aligned with it.
 	Kinds   []flow.JobKind
 	Classes []mckp.Class
+	// Chain, when non-empty, is the template's artifact cache key chain
+	// (core.CacheChain), aligned with Kinds; key 0 marks an uncacheable
+	// stage. Two templates sharing a chain prefix — the same design
+	// synthesized under the same recipe, submitted by any tenant — share
+	// the artifacts: the engine predicts every stage whose key an
+	// earlier admitted job introduced as a cache hit and prices it at
+	// the probe constant. Empty disables cache awareness for the
+	// template.
+	Chain []cache.Key
 }
 
 // Tenant is one customer of the serving fleet with its fair-share
@@ -119,6 +129,10 @@ type PlannedStage struct {
 	StartSec float64      `json:"start_sec"`
 	EndSec   float64      `json:"end_sec"`
 	CostUSD  float64      `json:"cost_usd"`
+	// Cached marks a predicted artifact-cache hit: the stage is served
+	// from the shared store at the probe constant, books no lease and
+	// bills nothing.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // JobStatus is the queryable state of one submitted job.
@@ -190,6 +204,9 @@ func (cfg *Config) validate() error {
 		names[tpl.Name] = true
 		if len(tpl.Kinds) == 0 || len(tpl.Kinds) != len(tpl.Classes) {
 			return fmt.Errorf("serve: template %q needs aligned stages and classes", tpl.Name)
+		}
+		if len(tpl.Chain) != 0 && len(tpl.Chain) != len(tpl.Kinds) {
+			return fmt.Errorf("serve: template %q chain has %d keys for %d stages", tpl.Name, len(tpl.Chain), len(tpl.Kinds))
 		}
 		for l, cl := range tpl.Classes {
 			if len(cl.Items) == 0 {
