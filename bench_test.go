@@ -27,6 +27,7 @@ import (
 	"edacloud/internal/cloud"
 	"edacloud/internal/core"
 	"edacloud/internal/designs"
+	"edacloud/internal/dse"
 	"edacloud/internal/flow"
 	"edacloud/internal/gcn"
 	"edacloud/internal/ints"
@@ -41,6 +42,12 @@ import (
 )
 
 var benchLib = techlib.Default14nm()
+
+var (
+	exploreOnce sync.Once
+	explorePred *core.Predictor
+	exploreErr  error
+)
 
 // benchScale keeps every benchmark's single iteration in the seconds
 // range; raise it for higher-fidelity runs.
@@ -1028,6 +1035,79 @@ func BenchmarkCacheHitThroughput(b *testing.B) {
 				"warm_jobs_per_sec": warmRate,
 				"warm_speedup":      warmRate / coldRate,
 				"hit_rate":          hitRate,
+			})
+		}
+	}
+}
+
+// BenchmarkExploreThroughput drives the DSE autopilot end to end —
+// TPE sampling, the cheap synthesis rung, GCN pruning, full batch
+// evaluations on the bounded fleet — through a shared artifact store,
+// and reports the exploration rate plus the store's dedup. The hit
+// rate is the PR's headline lever: hits are trials the budget did not
+// pay for twice.
+func BenchmarkExploreThroughput(b *testing.B) {
+	exploreOnce.Do(func() {
+		ds, err := core.BuildDataset(benchLib, core.DatasetOptions{
+			Benchmarks: []string{"adder", "bar", "dec"},
+			Recipes:    synth.StandardRecipes[:1],
+			Scale:      0.05,
+		})
+		if err != nil {
+			exploreErr = err
+			return
+		}
+		explorePred, _, exploreErr = core.TrainPredictor(ds,
+			gcn.Config{Hidden1: 8, Hidden2: 6, FCHidden: 6, LR: 3e-3, Epochs: 5}, 0.34, 7)
+	})
+	if exploreErr != nil {
+		b.Fatal(exploreErr)
+	}
+	catalog := cloud.DefaultCatalog()
+	fleet, err := cloud.ParseFleetSpec(catalog, "gp.1x=1,gp.2x=1,mem.1x=1,mem.2x=1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		store := cache.New(0)
+		start := time.Now()
+		res, err := dse.Explore(dse.Config{
+			Design:     "dyn_node",
+			Scale:      0.02,
+			MaxPasses:  3,
+			Population: 6,
+			Eta:        3,
+			Rounds:     3,
+			Seed:       3,
+			Fleet:      fleet,
+			Catalog:    catalog,
+			Lib:        benchLib,
+			Predictor:  explorePred,
+			Store:      store,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		wall := time.Since(start)
+		for i, p := range res.Front {
+			for j, q := range res.Front {
+				if i != j && p.Full.Dominates(q.Full) {
+					b.Fatal("dominated point on the returned front")
+				}
+			}
+		}
+		rate := float64(res.Sampled) / wall.Seconds()
+		hitRate := res.CacheStats.HitRate()
+		b.ReportMetric(rate, "trials/s")
+		b.ReportMetric(hitRate*100, "hit_%")
+		if i == 0 {
+			fmt.Printf("\nExploreThroughput cores=%d trials=%d evaluated=%d rate=%.2f trials/s hit_rate=%.1f%% spend=$%.4f front=%d\n",
+				runtime.GOMAXPROCS(0), res.Sampled, res.Evaluated, rate, hitRate*100, res.SpentUSD, len(res.Front))
+			benchSnapshot(b, "ExploreThroughput", map[string]float64{
+				"trials_per_sec": rate,
+				"hit_rate":       hitRate,
+				"evaluated":      float64(res.Evaluated),
+				"spend_usd":      res.SpentUSD,
 			})
 		}
 	}

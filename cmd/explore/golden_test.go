@@ -1,0 +1,48 @@
+package main
+
+import (
+	"flag"
+	"testing"
+
+	"edacloud/internal/clitest"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// TestExploreGolden pins one full exploration end to end — the round
+// spends, the summary counts and the Pareto front — and proves the
+// determinism contract the autopilot advertises: the same seed yields
+// byte-identical output at -workers 1 and -workers 8.
+func TestExploreGolden(t *testing.T) {
+	bin := clitest.Build(t, "")
+	args := []string{
+		"-design", "dyn_node",
+		"-seed", "3",
+		"-rounds", "3",
+		"-population", "6",
+		"-eta", "3",
+	}
+	one := clitest.Run(t, bin, append(args, "-workers", "1")...)
+	clitest.Golden(t, "testdata/explore.golden", one, *update)
+	eight := clitest.Run(t, bin, append(args, "-workers", "8")...)
+	if one != eight {
+		t.Fatal("-workers 8 output diverged from -workers 1")
+	}
+}
+
+// TestExploreCacheGolden pins the cache-enabled mode: the same search
+// with a shared artifact store reports the dedup hit rate and a bill
+// no larger than the blind run's — the "more trials per simulated
+// dollar" headline in its CLI form.
+func TestExploreCacheGolden(t *testing.T) {
+	bin := clitest.Build(t, "")
+	got := clitest.Run(t, bin,
+		"-design", "dyn_node",
+		"-seed", "3",
+		"-rounds", "3",
+		"-population", "6",
+		"-eta", "3",
+		"-cache",
+	)
+	clitest.Golden(t, "testdata/explore_cache.golden", got, *update)
+}

@@ -114,6 +114,17 @@ type Stats struct {
 	BytesLive, BytesEvicted int64
 }
 
+// HitRate is the billed hit fraction of all billed lookups, 0 when
+// nothing has been billed — the headline dedup metric exploration
+// reports and the bench suite tracks.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
 // Store is the content-addressed artifact store. It is not internally
 // locked: concurrent use is safe only through Peek while no writer
 // runs (the scheduler's frozen phase); Access, Put and EvictOver are

@@ -53,6 +53,18 @@ func TestAccessBillsHitsAndMisses(t *testing.T) {
 	}
 }
 
+func TestHitRate(t *testing.T) {
+	if got := (Stats{}).HitRate(); got != 0 {
+		t.Fatalf("empty stats hit rate = %g, want 0", got)
+	}
+	if got := (Stats{Hits: 3, Misses: 1}).HitRate(); got != 0.75 {
+		t.Fatalf("3/4 hit rate = %g, want 0.75", got)
+	}
+	if got := (Stats{Misses: 5}).HitRate(); got != 0 {
+		t.Fatalf("all-miss hit rate = %g, want 0", got)
+	}
+}
+
 func TestEvictOverIsLRU(t *testing.T) {
 	s := New(30)
 	s.Put(entry(1, 10))

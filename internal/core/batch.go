@@ -8,6 +8,7 @@ import (
 	"edacloud/internal/designs"
 	"edacloud/internal/flow"
 	"edacloud/internal/mckp"
+	"edacloud/internal/synth"
 	"edacloud/internal/techlib"
 )
 
@@ -39,6 +40,26 @@ type BatchJobSpec struct {
 	// the cache-probe constant before solving. Nil means no prediction —
 	// the cache-blind path, bit-identical to earlier behavior.
 	CacheHits map[JobKind]bool
+	// Recipe, when non-zero, overrides the batch-level characterization
+	// recipe for this job alone — a DSE trial batch mixes recipes within
+	// one co-optimized execution. The job's Char must have been profiled
+	// under the same recipe for the plan's runtimes to be meaningful.
+	Recipe synth.Recipe
+	// ClockPeriodNs, when non-zero, sets this job's STA timing
+	// constraint (flow.WithClockPeriodNs); 0 keeps the engine default.
+	// It participates in the job's cache identity: trials differing only
+	// in clock share every stage artifact except timing.
+	ClockPeriodNs float64
+}
+
+// effectiveRecipe resolves the recipe this spec's flow runs under: the
+// spec's own when set, else the batch-level characterization recipe.
+// opts must already carry its defaults.
+func (s BatchJobSpec) effectiveRecipe(opts CharacterizeOptions) synth.Recipe {
+	if s.Recipe.Name != "" || len(s.Recipe.Passes) > 0 {
+		return s.Recipe
+	}
+	return opts.Recipe
 }
 
 // BatchOptions shapes a batch optimization for preemptible capacity
@@ -120,6 +141,15 @@ func restrictProblem(prob *DeploymentProblem, capacity mckp.Capacity) (*Deployme
 		out.Classes = append(out.Classes, cl)
 	}
 	return out, nil
+}
+
+// Restrict drops choice-table entries whose instance type the fleet
+// cannot supply — the exported form of the batch optimizer's own
+// restriction step, so callers pricing plans against a bounded fleet
+// (the DSE full-evaluation rung) solve over exactly the choices the
+// fleet can execute.
+func (prob *DeploymentProblem) Restrict(fleet *cloud.Fleet) (*DeploymentProblem, error) {
+	return restrictProblem(prob, batchCapacity(fleet))
 }
 
 // StageChoices exports the problem's choice tables in the flow
@@ -350,10 +380,13 @@ func ExecuteBatchPlan(lib *techlib.Library, specs []BatchJobSpec, bp *BatchPlan,
 			return nil, err
 		}
 		jobs[i] = flow.Job{
-			Name:        spec.Name,
-			Design:      g,
-			Lib:         lib,
-			Options:     []flow.Option{flow.WithRecipe(opts.Recipe)},
+			Name:   spec.Name,
+			Design: g,
+			Lib:    lib,
+			Options: []flow.Option{
+				flow.WithRecipe(spec.effectiveRecipe(opts)),
+				flow.WithClockPeriodNs(spec.ClockPeriodNs),
+			},
 			Plan:        sp,
 			DeadlineSec: float64(spec.DeadlineSec),
 			WorkScale:   spec.Char.WorkScale,

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"fmt"
+
 	"edacloud/internal/cache"
 	"edacloud/internal/designs"
 	"edacloud/internal/flow"
 	"edacloud/internal/mckp"
 	"edacloud/internal/perf"
+	"edacloud/internal/synth"
 	"edacloud/internal/techlib"
 )
 
@@ -21,12 +24,13 @@ import (
 
 // planningPipeline builds the pipeline whose stage key chain matches
 // what ExecuteBatchPlan's scheduler jobs will run: the default
-// four-stage flow under the characterization recipe, instrumented
-// (the scheduler always probes, and instrumented routing keys are
-// worker-independent).
-func planningPipeline(opts CharacterizeOptions) *flow.Pipeline {
+// four-stage flow under the given recipe and clock period,
+// instrumented (the scheduler always probes, and instrumented routing
+// keys are worker-independent).
+func planningPipeline(recipe synth.Recipe, clockPeriodNs float64) *flow.Pipeline {
 	return flow.NewPipeline(
-		flow.WithRecipe(opts.Recipe),
+		flow.WithRecipe(recipe),
+		flow.WithClockPeriodNs(clockPeriodNs),
 		// Planning never runs a stage, so the factory body is dead code —
 		// but its presence marks the pipeline instrumented, which is what
 		// keys routing the same way the scheduler's probed jobs do.
@@ -43,7 +47,7 @@ func CacheChain(lib *techlib.Library, design string, opts CharacterizeOptions) (
 	if err != nil {
 		return nil, err
 	}
-	return planningPipeline(opts).CacheKeys(g, lib), nil
+	return planningPipeline(opts.Recipe, 0).CacheKeys(g, lib), nil
 }
 
 // PredictCacheHits fills each spec's CacheHits with the stages the
@@ -57,19 +61,27 @@ func PredictCacheHits(store *cache.Store, lib *techlib.Library, specs []BatchJob
 		return nil
 	}
 	opts = opts.withDefaults()
-	pipe := planningPipeline(opts)
 	chains := make([][]cache.Key, len(specs))
 	keyed := make([][]flow.StageKey, len(specs))
-	byDesign := map[string][]flow.StageKey{}
+	// Specs carrying their own Recipe/ClockPeriodNs (a DSE trial batch
+	// mixes recipes) key their own flow; the memo must therefore be
+	// keyed by the full flow identity, not the design alone.
+	type flowID struct {
+		design, recipe string
+		clockNs        float64
+	}
+	memo := map[flowID][]flow.StageKey{}
 	for i, spec := range specs {
-		sk, ok := byDesign[spec.Char.Design]
+		recipe := spec.effectiveRecipe(opts)
+		id := flowID{design: spec.Char.Design, recipe: fmt.Sprintf("%s|%v", recipe.Name, recipe.Passes), clockNs: spec.ClockPeriodNs}
+		sk, ok := memo[id]
 		if !ok {
 			g, err := designs.EvalDesign(spec.Char.Design, opts.Scale)
 			if err != nil {
 				return err
 			}
-			sk = pipe.CacheKeys(g, lib)
-			byDesign[spec.Char.Design] = sk
+			sk = planningPipeline(recipe, spec.ClockPeriodNs).CacheKeys(g, lib)
+			memo[id] = sk
 		}
 		keyed[i] = sk
 		chain := make([]cache.Key, len(sk))

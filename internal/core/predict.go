@@ -363,3 +363,21 @@ func (p *Predictor) PredictRuntimes(k JobKind, g *gcn.Graph) ([]float64, error) 
 	}
 	return p.Scalers[k].Invert(model.Predict(g)), nil
 }
+
+// PredictRuntimesBatch predicts per-configuration runtimes for many
+// graphs at once, fanning the forward passes out across the model's
+// worker pool (gcn.Model.PredictBatch). Results are in input order and
+// bit-identical to per-graph PredictRuntimes calls at any worker
+// count.
+func (p *Predictor) PredictRuntimesBatch(k JobKind, graphs []*gcn.Graph) ([][]float64, error) {
+	model := p.Models[k]
+	if model == nil {
+		return nil, fmt.Errorf("core: no model for %v", k)
+	}
+	raw := model.PredictBatch(graphs)
+	out := make([][]float64, len(raw))
+	for i, r := range raw {
+		out[i] = p.Scalers[k].Invert(r)
+	}
+	return out, nil
+}

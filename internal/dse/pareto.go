@@ -1,0 +1,193 @@
+package dse
+
+import "sort"
+
+// Objectives is one trial's score vector. All three axes are
+// minimized: QoR is the mapped cell count inflated by a timing-
+// violation penalty, CostUSD and RuntimeSec are the trial's nominal
+// deployment-plan bill and wall clock at its chosen slack. Objectives
+// are deliberately cache-independent — a warm artifact store changes
+// what a trial *bills*, never how it *scores* — which is what makes
+// the search trajectory a pure function of the seed.
+type Objectives struct {
+	QoR        float64
+	CostUSD    float64
+	RuntimeSec float64
+}
+
+// vector flattens the objectives for axis-generic arithmetic.
+func (o Objectives) vector() [3]float64 { return [3]float64{o.QoR, o.CostUSD, o.RuntimeSec} }
+
+// Dominates reports Pareto dominance: a is no worse than b on every
+// objective and strictly better on at least one.
+func (a Objectives) Dominates(b Objectives) bool {
+	av, bv := a.vector(), b.vector()
+	strict := false
+	for i := range av {
+		if av[i] > bv[i] {
+			return false
+		}
+		if av[i] < bv[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// nonDominatedRanks assigns each point its Pareto front index: rank 0
+// points are dominated by nobody, rank 1 only by rank 0 points, and so
+// on (the NSGA-style peeling). O(n^2) per front, fine at exploration
+// population sizes.
+func nonDominatedRanks(objs []Objectives) []int {
+	n := len(objs)
+	rank := make([]int, n)
+	for i := range rank {
+		rank[i] = -1
+	}
+	assigned := 0
+	for r := 0; assigned < n; r++ {
+		var front []int
+		for i := 0; i < n; i++ {
+			if rank[i] >= 0 {
+				continue
+			}
+			dominated := false
+			for j := 0; j < n; j++ {
+				if j == i || rank[j] >= 0 {
+					continue
+				}
+				if objs[j].Dominates(objs[i]) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				front = append(front, i)
+			}
+		}
+		for _, i := range front {
+			rank[i] = r
+		}
+		assigned += len(front)
+	}
+	return rank
+}
+
+// scalarize collapses an objective vector to one deterministic number
+// for tie-breaking inside a front: each axis min-max normalized over
+// the cohort, then summed. Degenerate axes (all equal) contribute 0.
+func scalarize(objs []Objectives) []float64 {
+	if len(objs) == 0 {
+		return nil
+	}
+	lo, hi := objs[0].vector(), objs[0].vector()
+	for _, o := range objs[1:] {
+		v := o.vector()
+		for i := range v {
+			if v[i] < lo[i] {
+				lo[i] = v[i]
+			}
+			if v[i] > hi[i] {
+				hi[i] = v[i]
+			}
+		}
+	}
+	out := make([]float64, len(objs))
+	for k, o := range objs {
+		v := o.vector()
+		s := 0.0
+		for i := range v {
+			if hi[i] > lo[i] {
+				s += (v[i] - lo[i]) / (hi[i] - lo[i])
+			}
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// promote selects k of the cohort for the next rung, whole Pareto
+// fronts first (rank 0, then rank 1, ...) with the front that
+// straddles the cut ordered by scalarized score and then input index.
+// Taking fronts wholesale is what makes the successive-halving
+// invariant structural: a pruned sibling can never dominate a promoted
+// trial, because domination forces a strictly lower rank and lower
+// ranks are exhausted before higher ones.
+func promote(objs []Objectives, k int) []int {
+	n := len(objs)
+	if k >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	if k <= 0 {
+		return nil
+	}
+	rank := nonDominatedRanks(objs)
+	scalar := scalarize(objs)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if rank[ia] != rank[ib] {
+			return rank[ia] < rank[ib]
+		}
+		if scalar[ia] != scalar[ib] {
+			return scalar[ia] < scalar[ib]
+		}
+		return ia < ib
+	})
+	picked := append([]int(nil), order[:k]...)
+	sort.Ints(picked)
+	return picked
+}
+
+// Archive is the evolving Pareto set of fully evaluated trials. The
+// invariant — no archived point dominates another — holds after every
+// Add, and insertion order never matters for the final contents.
+type Archive struct {
+	points []Trial
+}
+
+// Add offers a fully evaluated trial to the archive. A trial dominated
+// by (or duplicating the objectives of) an archived point is rejected;
+// otherwise it enters and every point it dominates leaves. Returns
+// whether the trial was admitted.
+func (a *Archive) Add(t Trial) bool {
+	for _, p := range a.points {
+		if p.Full.Dominates(t.Full) || p.Full == t.Full {
+			return false
+		}
+	}
+	kept := a.points[:0]
+	for _, p := range a.points {
+		if !t.Full.Dominates(p.Full) {
+			kept = append(kept, p)
+		}
+	}
+	a.points = append(kept, t)
+	return true
+}
+
+// Points returns the archive sorted by (QoR, CostUSD, RuntimeSec, ID)
+// — a canonical order independent of insertion history.
+func (a *Archive) Points() []Trial {
+	out := append([]Trial(nil), a.points...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Full.QoR != out[j].Full.QoR {
+			return out[i].Full.QoR < out[j].Full.QoR
+		}
+		if out[i].Full.CostUSD != out[j].Full.CostUSD {
+			return out[i].Full.CostUSD < out[j].Full.CostUSD
+		}
+		if out[i].Full.RuntimeSec != out[j].Full.RuntimeSec {
+			return out[i].Full.RuntimeSec < out[j].Full.RuntimeSec
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

@@ -1,0 +1,173 @@
+package dse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randObjectives(rng *rand.Rand) Objectives {
+	// Coarse grid values force frequent dominance relations and exact
+	// ties, which is where archive bookkeeping goes wrong.
+	return Objectives{
+		QoR:        float64(rng.Intn(5)),
+		CostUSD:    float64(rng.Intn(5)),
+		RuntimeSec: float64(rng.Intn(5)),
+	}
+}
+
+func TestDominates(t *testing.T) {
+	a := Objectives{QoR: 1, CostUSD: 1, RuntimeSec: 1}
+	b := Objectives{QoR: 2, CostUSD: 1, RuntimeSec: 1}
+	if !a.Dominates(b) {
+		t.Fatal("better-on-one, equal-elsewhere must dominate")
+	}
+	if b.Dominates(a) || a.Dominates(a) {
+		t.Fatal("dominance must be strict and irreflexive")
+	}
+	c := Objectives{QoR: 0, CostUSD: 9, RuntimeSec: 1}
+	if a.Dominates(c) || c.Dominates(a) {
+		t.Fatal("trade-off points must be mutually non-dominated")
+	}
+}
+
+// TestArchiveHoldsNoDominatedPoint is the tentpole's provable-
+// non-dominance claim: after any sequence of Adds, no archived point
+// dominates another, and every rejected or evicted trial is dominated
+// by (or objective-identical to) something archived.
+func TestArchiveHoldsNoDominatedPoint(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var a Archive
+		var all []Trial
+		for i := 0; i < 60; i++ {
+			tr := Trial{ID: i, Full: randObjectives(rng)}
+			all = append(all, tr)
+			a.Add(tr)
+		}
+		pts := a.Points()
+		if len(pts) == 0 {
+			t.Fatalf("seed %d: empty archive after 60 adds", seed)
+		}
+		for i := range pts {
+			for j := range pts {
+				if i != j && pts[i].Full.Dominates(pts[j].Full) {
+					t.Fatalf("seed %d: archived %+v dominates archived %+v", seed, pts[i].Full, pts[j].Full)
+				}
+			}
+		}
+		// Completeness: nothing outside the archive may dominate an
+		// archived point, and everything outside must be covered.
+		for _, tr := range all {
+			covered := false
+			for _, p := range pts {
+				if tr.Full.Dominates(p.Full) {
+					t.Fatalf("seed %d: dropped trial %+v dominates archived %+v", seed, tr.Full, p.Full)
+				}
+				if p.Full.Dominates(tr.Full) || p.Full == tr.Full {
+					covered = true
+				}
+			}
+			if !covered {
+				t.Fatalf("seed %d: trial %+v neither archived nor dominated", seed, tr.Full)
+			}
+		}
+	}
+}
+
+// TestArchiveInsertionOrderIrrelevant: the final Pareto set (as
+// objective vectors) must not depend on the order trials arrive.
+func TestArchiveInsertionOrderIrrelevant(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		trials := make([]Trial, 40)
+		for i := range trials {
+			trials[i] = Trial{ID: i, Full: randObjectives(rng)}
+		}
+		front := func(order []int) map[Objectives]bool {
+			var a Archive
+			for _, i := range order {
+				a.Add(trials[i])
+			}
+			set := map[Objectives]bool{}
+			for _, p := range a.Points() {
+				set[p.Full] = true
+			}
+			return set
+		}
+		fwd := make([]int, len(trials))
+		rev := make([]int, len(trials))
+		for i := range trials {
+			fwd[i] = i
+			rev[i] = len(trials) - 1 - i
+		}
+		shuf := rng.Perm(len(trials))
+		a, b, c := front(fwd), front(rev), front(shuf)
+		if len(a) != len(b) || len(a) != len(c) {
+			t.Fatalf("seed %d: front size depends on order: %d/%d/%d", seed, len(a), len(b), len(c))
+		}
+		for o := range a {
+			if !b[o] || !c[o] {
+				t.Fatalf("seed %d: front membership depends on order at %+v", seed, o)
+			}
+		}
+	}
+}
+
+// TestPromoteNeverPromotesDominatedTrial is the successive-halving
+// invariant the issue demands: a promoted trial is never dominated on
+// all objectives by a sibling the rung pruned.
+func TestPromoteNeverPromotesDominatedTrial(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(20)
+		objs := make([]Objectives, n)
+		for i := range objs {
+			objs[i] = randObjectives(rng)
+		}
+		k := 1 + rng.Intn(n)
+		picked := promote(objs, k)
+		if len(picked) != k {
+			t.Fatalf("seed %d: promote returned %d of requested %d", seed, len(picked), k)
+		}
+		isPicked := make([]bool, n)
+		for _, i := range picked {
+			isPicked[i] = true
+		}
+		for _, p := range picked {
+			for s := 0; s < n; s++ {
+				if !isPicked[s] && objs[s].Dominates(objs[p]) {
+					t.Fatalf("seed %d: pruned %+v dominates promoted %+v", seed, objs[s], objs[p])
+				}
+			}
+		}
+	}
+}
+
+func TestPromoteEdgeCases(t *testing.T) {
+	objs := []Objectives{{QoR: 1}, {QoR: 2}, {QoR: 3}}
+	if got := promote(objs, 5); len(got) != 3 {
+		t.Fatalf("k>=n must promote everything, got %v", got)
+	}
+	if got := promote(objs, 0); got != nil {
+		t.Fatalf("k<=0 must promote nothing, got %v", got)
+	}
+	if got := promote(nil, 3); len(got) != 0 {
+		t.Fatalf("empty cohort must promote nothing, got %v", got)
+	}
+}
+
+func TestNonDominatedRanks(t *testing.T) {
+	objs := []Objectives{
+		{QoR: 1, CostUSD: 1, RuntimeSec: 1}, // front 0
+		{QoR: 2, CostUSD: 2, RuntimeSec: 2}, // dominated by 0 only
+		{QoR: 0, CostUSD: 3, RuntimeSec: 1}, // front 0 (trade-off)
+		{QoR: 3, CostUSD: 3, RuntimeSec: 3}, // dominated by 0 and 1
+	}
+	want := []int{0, 1, 0, 2}
+	got := nonDominatedRanks(objs)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rank[%d] = %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}

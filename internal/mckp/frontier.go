@@ -1,0 +1,95 @@
+package mckp
+
+import "math"
+
+// Frontier enumerates the time/cost Pareto frontier of a choice table
+// from one dynamic program: every selection such that no other
+// selection is both no slower and no more expensive. Points come back
+// fastest-first with strictly increasing time and strictly decreasing
+// cost, so a design-space explorer can price every deadline (every
+// slack factor over the same recipe) from a single solve instead of
+// one SolveMinCost per deadline.
+func Frontier(classes []Class) ([]Selection, error) {
+	if err := validate(classes, 0); err != nil {
+		return nil, err
+	}
+	// The widest budget any undominated selection can need: the slowest
+	// item per class. Beyond it cost cannot drop further.
+	maxTotal := 0
+	for _, cl := range classes {
+		slowest := 0
+		for _, it := range cl.Items {
+			if it.TimeSec > slowest {
+				slowest = it.TimeSec
+			}
+		}
+		maxTotal += slowest
+	}
+	n := len(classes)
+	width := maxTotal + 1
+	negInf := math.Inf(-1)
+
+	// One min-cost DP over the full budget axis, keeping every layer's
+	// choice row for reconstruction (as in solveDP).
+	cur := make([]float64, width)
+	prev := make([]float64, width)
+	choice := make([]int16, n*width)
+	for l := 0; l < n; l++ {
+		for c := 0; c < width; c++ {
+			cur[c] = negInf
+			choice[l*width+c] = -1
+		}
+		for j, it := range classes[l].Items {
+			v := -it.Cost
+			for c := it.TimeSec; c < width; c++ {
+				base := prev[c-it.TimeSec]
+				if math.IsInf(base, -1) {
+					continue
+				}
+				if cand := base + v; cand > cur[c] {
+					cur[c] = cand
+					choice[l*width+c] = int16(j)
+				}
+			}
+		}
+		prev, cur = cur, prev
+	}
+
+	reconstruct := func(budget int) Selection {
+		sel := Selection{Feasible: true, Pick: make([]int, n)}
+		c := budget
+		for l := n - 1; l >= 0; l-- {
+			j := choice[l*width+c]
+			if j < 0 {
+				return Selection{Feasible: false}
+			}
+			sel.Pick[l] = int(j)
+			it := classes[l].Items[j]
+			sel.TotalTime += it.TimeSec
+			sel.TotalCost += it.Cost
+			c -= it.TimeSec
+		}
+		return sel
+	}
+
+	// Walk budgets fastest-first; every budget where the minimal cost
+	// strictly improves contributes one knee of the frontier.
+	var out []Selection
+	bestCost := math.Inf(1)
+	for c := 0; c < width; c++ {
+		if math.IsInf(prev[c], -1) {
+			continue
+		}
+		cost := -prev[c]
+		if cost >= bestCost-1e-12 {
+			continue
+		}
+		sel := reconstruct(c)
+		if !sel.Feasible {
+			continue
+		}
+		bestCost = cost
+		out = append(out, sel)
+	}
+	return out, nil
+}

@@ -1,0 +1,83 @@
+package mckp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestFrontierMatchesPerDeadlineSolves cross-checks the one-DP
+// frontier against brute force: at every budget from the fastest
+// achievable time to the slowest, the frontier's best selection at
+// that budget must cost exactly what SolveMinCost reports, and the
+// points themselves must be mutually non-dominated.
+func TestFrontierMatchesPerDeadlineSolves(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3)
+		classes := make([]Class, n)
+		maxTotal := 0
+		for l := range classes {
+			k := 2 + rng.Intn(4)
+			slowest := 0
+			for j := 0; j < k; j++ {
+				it := Item{TimeSec: 1 + rng.Intn(30), Cost: float64(1+rng.Intn(400)) / 100}
+				classes[l].Items = append(classes[l].Items, it)
+				if it.TimeSec > slowest {
+					slowest = it.TimeSec
+				}
+			}
+			maxTotal += slowest
+		}
+
+		front, err := Frontier(classes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(front) == 0 {
+			t.Fatalf("seed %d: empty frontier", seed)
+		}
+		for i := range front {
+			if i == 0 {
+				continue
+			}
+			if front[i].TotalTime <= front[i-1].TotalTime || front[i].TotalCost >= front[i-1].TotalCost {
+				t.Fatalf("seed %d: frontier not strictly ordered at %d: %+v then %+v",
+					seed, i, front[i-1], front[i])
+			}
+		}
+		// No point may dominate another (weakly better on both axes).
+		for i := range front {
+			for j := range front {
+				if i == j {
+					continue
+				}
+				if front[i].TotalTime <= front[j].TotalTime && front[i].TotalCost <= front[j].TotalCost-1e-12 {
+					t.Fatalf("seed %d: frontier point %+v dominates %+v", seed, front[i], front[j])
+				}
+			}
+		}
+		bestAt := func(deadline int) float64 {
+			best := math.Inf(1)
+			for _, s := range front {
+				if s.TotalTime <= deadline && s.TotalCost < best {
+					best = s.TotalCost
+				}
+			}
+			return best
+		}
+		for d := MinTotalTime(classes); d <= maxTotal; d++ {
+			sel, err := SolveMinCost(classes, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sel.Feasible {
+				t.Fatalf("seed %d: deadline %d infeasible above MinTotalTime", seed, d)
+			}
+			if got := bestAt(d); math.Abs(got-sel.TotalCost) > 1e-9 {
+				t.Fatalf("seed %d deadline %d: frontier prices $%.6f, SolveMinCost $%.6f",
+					seed, d, got, sel.TotalCost)
+			}
+		}
+	}
+}
