@@ -34,6 +34,7 @@ import (
 	"edacloud/internal/mat"
 	"edacloud/internal/mckp"
 	"edacloud/internal/par"
+	"edacloud/internal/perf"
 	"edacloud/internal/place"
 	"edacloud/internal/route"
 	"edacloud/internal/serve"
@@ -659,6 +660,47 @@ func BenchmarkParSpeedupRewrite(b *testing.B) {
 		serial := run(1)
 		parallel := run(0)
 		reportParSpeedup(b, i == 0, "rewrite", serial, parallel)
+	}
+}
+
+// BenchmarkMillionGateSynth runs the partitioned balance+rewrite
+// passes on the smallest million-gate family member (adder at 100x its
+// EPFL-like size, ~141k ANDs across ~1400 partitions) and reports the
+// heap high-water mark alongside wall-clock. The memory metric is the
+// regression tripwire for the shard-scratch fix: with pooled
+// epoch-stamped scratch the peak stays proportional to the design plus
+// a few shard-sized buffers; the old dense per-partition scratch
+// would put gigabytes of transient allocation back on this curve
+// (benchdiff treats *_mib as lower-is-better).
+func BenchmarkMillionGateSynth(b *testing.B) {
+	spec := designs.MillionFamily()[0]
+	g := spec.Build()
+	parts := g.PartitionCones(synth.PartitionGrain).NumParts()
+	for i := 0; i < b.N; i++ {
+		wm := perf.NewMemWatermark()
+		stop := wm.Watch(time.Millisecond)
+		start := time.Now()
+		out := synth.Balance(g.Clone(), nil)
+		out = synth.Rewrite(out, nil)
+		elapsed := time.Since(start)
+		stop()
+		peakMiB := float64(wm.PeakDeltaBytes()) / (1 << 20)
+		b.ReportMetric(elapsed.Seconds(), "synth-sec")
+		b.ReportMetric(peakMiB, "peak-heap-MiB")
+		if i == 0 {
+			fmt.Printf("\nMillionGateSynth %s ands=%d parts=%d cores=%d synth=%v peak-heap=%.0fMiB\n",
+				spec.ID(), g.NumAnds(), parts, runtime.GOMAXPROCS(0),
+				elapsed.Round(time.Millisecond), peakMiB)
+			if out.NumOutputs() != g.NumOutputs() {
+				b.Fatal("synthesis dropped outputs")
+			}
+			benchSnapshot(b, "MillionGateSynth", map[string]float64{
+				"ands":          float64(g.NumAnds()),
+				"parts":         float64(parts),
+				"synth_sec":     elapsed.Seconds(),
+				"peak_heap_mib": peakMiB,
+			})
+		}
 	}
 }
 

@@ -48,7 +48,8 @@ func direction(metric string) int {
 		strings.HasSuffix(m, "_util_pct") || m == "admitted" || m == "jobs_per_sec":
 		return +1
 	case strings.HasSuffix(m, "_sec") || strings.HasSuffix(m, "_usd") ||
-		strings.HasSuffix(m, "_lost_pct") || m == "replans" || m == "rounds":
+		strings.HasSuffix(m, "_lost_pct") || m == "replans" || m == "rounds" ||
+		strings.HasSuffix(m, "_bytes") || strings.HasSuffix(m, "_mib"):
 		return -1
 	}
 	return 0

@@ -31,6 +31,8 @@ func TestDirection(t *testing.T) {
 		"work_lost_pct":  -1,
 		"replans":        -1,
 		"rounds":         -1,
+		"peak_heap_mib":  -1,
+		"scratch_bytes":  -1,
 		"mystery":        0,
 	} {
 		if got := direction(metric); got != want {

@@ -46,6 +46,23 @@ func TestAdaptiveFleetGolden(t *testing.T) {
 	clitest.Golden(t, "testdata/adaptive_fleet.golden", got, *update)
 }
 
+// TestHierFleetGolden pins the -hier fleet batch: the design split into
+// cone-partition sub-designs, one scheduled job per partition, and the
+// stitched result's stats with the equivalence verdict.
+func TestHierFleetGolden(t *testing.T) {
+	bin := clitest.Build(t, "")
+	got := clitest.Run(t, bin,
+		"-design", "aes",
+		"-scale", "0.02",
+		"-stages", "synthesis",
+		"-fleet", "gp.4x=2",
+		"-policy", "firstfit",
+		"-hier",
+		"-hier-grain", "300",
+	)
+	clitest.Golden(t, "testdata/hier_fleet.golden", got, *update)
+}
+
 // TestCacheFleetGolden pins the -cache fleet batch: an artifact store
 // attached across three copies of the same flow. The first copy
 // computes every stage; the planner predicts the rest as hits, so

@@ -15,6 +15,14 @@
 //	edaflow -design aes -fleet gp.4x=1,mem.8x=1 -batch 3 -policy firstfit -minbill 60
 //	edaflow -design ibex -fleet gp.1x=1,gp.8x=1,mem.1x=1,mem.8x=1 -batch 3 -policy adaptive
 //	edaflow -design aes -fleet mem.4x.spot=2,mem.4x=1 -batch 3 -instance mem.4x.spot -spot -hazard-seed 11 -escalate-after 1
+//	edaflow -bench adder -scale 100 -stages synthesis -fleet gp.4x=4 -policy firstfit -hier -hier-grain 20000
+//
+// -hier switches the -fleet batch to hierarchical mode: instead of
+// -batch copies of the whole flow, the one design is split into cone
+// partitions of roughly -hier-grain AND nodes, each partition runs as
+// its own schedulable job on the fleet, and the optimized sub-designs
+// are stitched back into one equivalence-checked graph — design-level
+// parallelism for million-gate designs.
 //
 // -spot prices revocable twins of every catalog type at a 30%
 // discount and arms a seeded revocation injector over the fleet's
@@ -66,6 +74,8 @@ func main() {
 	hazardRate := flag.Float64("hazard-rate", 60, "revocations per spot-instance-hour for -spot")
 	escalateAfter := flag.Int("escalate-after", 0, "escalate a stage to the on-demand counterpart after this many revocations (0 = never)")
 	useCache := flag.Bool("cache", false, "attach a content-addressed artifact store across the -fleet batch: identical stage work dedups to cache hits (adaptive policy also plans against predicted hits)")
+	hier := flag.Bool("hier", false, "hierarchical -fleet mode: schedule the design's cone partitions as the batch jobs instead of -batch copies, then stitch the optimized sub-designs back together (-batch is ignored)")
+	hierGrain := flag.Int("hier-grain", 2000, "target AND nodes per sub-design in -hier mode")
 	flag.Parse()
 
 	var g *aig.Graph
@@ -99,6 +109,7 @@ func main() {
 			design: *design, scale: *scale,
 			spot: *spot, hazardSeed: *hazardSeed, hazardRate: *hazardRate,
 			escalateAfter: *escalateAfter, cache: *useCache,
+			hier: *hier, hierGrain: *hierGrain,
 		})
 		return
 	}
@@ -107,6 +118,9 @@ func main() {
 	}
 	if *useCache {
 		fail(fmt.Errorf("-cache needs -fleet: the artifact store dedups across a batch"))
+	}
+	if *hier {
+		fail(fmt.Errorf("-hier needs -fleet: sub-designs are scheduled as fleet jobs"))
 	}
 
 	estCells := flow.EstimateCells(g.NumAnds())
@@ -195,6 +209,11 @@ type batchConfig struct {
 	// cache attaches a content-addressed artifact store to the batch:
 	// copies of the same flow dedup to cache hits after the first.
 	cache bool
+	// hier schedules the design's cone partitions (of roughly hierGrain
+	// AND nodes each) as the batch jobs instead of batch copies, then
+	// stitches the optimized sub-designs back together.
+	hier      bool
+	hierGrain int
 }
 
 // runFleetBatch schedules copies of the configured flow over a bounded
@@ -230,6 +249,7 @@ func runFleetBatch(g *aig.Graph, lib *techlib.Library, recipe synth.Recipe, stag
 	}
 
 	var sched *flow.Schedule
+	var hb *flow.HierarchicalBatch
 	perJobDeadlines := cfg.deadline > 0
 	switch cfg.policy {
 	case "single", "firstfit":
@@ -250,9 +270,8 @@ func runFleetBatch(g *aig.Graph, lib *techlib.Library, recipe synth.Recipe, stag
 			opts = append(opts, flow.WithStages(stageList...))
 		}
 		var jobs []flow.Job
-		for i := 0; i < cfg.batch; i++ {
-			jobs = append(jobs, flow.Job{
-				Name:        fmt.Sprintf("%s#%d", g.Name, i),
+		if cfg.hier {
+			hb, err = flow.Hierarchical(flow.Job{
 				Design:      g,
 				Lib:         lib,
 				Options:     opts,
@@ -262,7 +281,33 @@ func runFleetBatch(g *aig.Graph, lib *techlib.Library, recipe synth.Recipe, stag
 				// Extrapolate the reduced-scale simulation to full-flow
 				// magnitudes (the dataset generator's representative factor).
 				WorkScale: 2e4,
-			})
+			}, cfg.hierGrain)
+			if err != nil {
+				fail(err)
+			}
+			jobs = hb.Jobs
+			fmt.Printf("Hierarchical split: %d sub-designs (grain %d ANDs)\n", len(hb.Subs), cfg.hierGrain)
+			fmt.Printf("%-12s %9s %9s %9s %9s\n", "sub", "ands", "inputs", "outputs", "exports")
+			for pi, sub := range hb.Subs {
+				fmt.Printf("%-12s %9d %9d %9d %9d\n", hb.Jobs[pi].Name,
+					sub.Graph.NumAnds(), len(sub.Imports), len(sub.Outputs), len(sub.Exports))
+			}
+			fmt.Println()
+		} else {
+			for i := 0; i < cfg.batch; i++ {
+				jobs = append(jobs, flow.Job{
+					Name:        fmt.Sprintf("%s#%d", g.Name, i),
+					Design:      g,
+					Lib:         lib,
+					Options:     opts,
+					Instance:    inst,
+					DeadlineSec: cfg.deadline,
+					Retry:       retry,
+					// Extrapolate the reduced-scale simulation to full-flow
+					// magnitudes (the dataset generator's representative factor).
+					WorkScale: 2e4,
+				})
+			}
 		}
 		if sched, err = (&flow.Scheduler{Workers: cfg.workers, Fleet: fleet, Policy: policy, Cache: store}).Run(nil, jobs); err != nil {
 			fail(err)
@@ -274,6 +319,9 @@ func runFleetBatch(g *aig.Graph, lib *techlib.Library, recipe synth.Recipe, stag
 		if stageList != nil || cfg.registers || cfg.clock != 1.0 {
 			fail(fmt.Errorf("-policy adaptive runs the full default flow; -stages, -registers and -clock do not apply"))
 		}
+		if cfg.hier {
+			fail(fmt.Errorf("-hier applies to the single and firstfit policies; adaptive plans per-design choice tables, not sub-design splits"))
+		}
 		if cfg.spot {
 			fail(fmt.Errorf("-spot applies to the single and firstfit policies; use optimize -spot for risk-adjusted planning"))
 		}
@@ -283,13 +331,17 @@ func runFleetBatch(g *aig.Graph, lib *techlib.Library, recipe synth.Recipe, stag
 		fail(fmt.Errorf("unknown policy %q (want single, firstfit or adaptive)", cfg.policy))
 	}
 
+	batchDesc := fmt.Sprintf("%d x %s", cfg.batch, g.Name)
+	if hb != nil {
+		batchDesc = fmt.Sprintf("%s split into %d sub-designs", g.Name, len(hb.Jobs))
+	}
 	if cfg.spot {
-		fmt.Printf("Fleet batch: %d x %s on %s (policy %s, hazard %.0f/h, seed %d)\n\n",
-			cfg.batch, g.Name, fleet, sched.Policy, cfg.hazardRate, cfg.hazardSeed)
+		fmt.Printf("Fleet batch: %s on %s (policy %s, hazard %.0f/h, seed %d)\n\n",
+			batchDesc, fleet, sched.Policy, cfg.hazardRate, cfg.hazardSeed)
 		fmt.Printf("%-12s %9s %9s %9s %9s %10s %6s %9s %9s\n",
 			"job", "start", "busy", "wait", "finish", "cost ($)", "revs", "lost", "deadline")
 	} else {
-		fmt.Printf("Fleet batch: %d x %s on %s (policy %s)\n\n", cfg.batch, g.Name, fleet, sched.Policy)
+		fmt.Printf("Fleet batch: %s on %s (policy %s)\n\n", batchDesc, fleet, sched.Policy)
 		fmt.Printf("%-12s %9s %9s %9s %9s %10s %9s\n",
 			"job", "start", "busy", "wait", "finish", "cost ($)", "deadline")
 	}
@@ -358,6 +410,17 @@ func runFleetBatch(g *aig.Graph, lib *techlib.Library, recipe synth.Recipe, stag
 	for _, row := range sched.Fleet.Ledger(sched.MakespanSec) {
 		fmt.Printf("%-12s %7d %8.0fs %10.4f %6.1f%%\n",
 			row.ID, row.Leases, row.BusySec, row.CostUSD, row.UtilizationPct)
+	}
+	if hb != nil {
+		stitched, err := hb.Stitch(sched.Jobs)
+		if err != nil {
+			fail(err)
+		}
+		equiv := "equivalent"
+		if !aig.SimEquiv(g, stitched, 1, 16) {
+			equiv = "NOT EQUIVALENT"
+		}
+		fmt.Printf("\nStitched: %s (%s to the input design)\n", stitched.Stats(), equiv)
 	}
 }
 

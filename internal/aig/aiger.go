@@ -97,7 +97,6 @@ func ReadASCII(r io.Reader) (*Graph, error) {
 		return sc.Text(), nil
 	}
 
-	inLits := make([]Lit, nIn)
 	for i := 0; i < nIn; i++ {
 		line, err := nextLine()
 		if err != nil {
@@ -110,7 +109,6 @@ func ReadASCII(r io.Reader) (*Graph, error) {
 		if l.IsNeg() {
 			return nil, fmt.Errorf("aig: complemented input literal %d", l)
 		}
-		inLits[i] = l
 		old2new[l.Var()] = g.AddInput("")
 	}
 	outLits := make([]Lit, nOut)
@@ -125,8 +123,12 @@ func ReadASCII(r io.Reader) (*Graph, error) {
 		}
 		outLits[i] = l
 	}
-	type andDecl struct{ lhs, rhs0, rhs1 Lit }
-	decls := make([]andDecl, nAnd)
+	// AIGER requires fanins to be declared before use, so each AND line
+	// is built the moment it is read: the only buffered state is the
+	// output-literal list (forward references are legal there) and the
+	// variable map itself. At million-gate scale this keeps the reader's
+	// footprint at the graph being built, with no whole-file declaration
+	// buffer alongside it.
 	for i := 0; i < nAnd; i++ {
 		line, err := nextLine()
 		if err != nil {
@@ -147,13 +149,9 @@ func ReadASCII(r io.Reader) (*Graph, error) {
 		if lits[0].IsNeg() {
 			return nil, fmt.Errorf("aig: complemented AND lhs %d", lits[0])
 		}
-		decls[i] = andDecl{lits[0], lits[1], lits[2]}
-	}
-	// AIGER requires fanins to be declared before use, so one pass works.
-	for _, d := range decls {
-		f0 := old2new[d.rhs0.Var()]
-		f1 := old2new[d.rhs1.Var()]
-		old2new[d.lhs.Var()] = g.And(f0.NotIf(d.rhs0.IsNeg()), f1.NotIf(d.rhs1.IsNeg()))
+		f0 := old2new[lits[1].Var()]
+		f1 := old2new[lits[2].Var()]
+		old2new[lits[0].Var()] = g.And(f0.NotIf(lits[1].IsNeg()), f1.NotIf(lits[2].IsNeg()))
 	}
 	for _, l := range outLits {
 		g.AddOutput(old2new[l.Var()].NotIf(l.IsNeg()), "")

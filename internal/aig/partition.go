@@ -1,6 +1,9 @@
 package aig
 
-import "slices"
+import (
+	"fmt"
+	"slices"
+)
 
 // Cone partitioning splits an AIG into independent resynthesis units —
 // the substrate of the synthesis engine's cone-parallel rewriting. Each
@@ -131,4 +134,155 @@ func (g *Graph) Append(sub *Graph, inputMap []Lit) []Lit {
 		old2new[v] = g.And(f0, f1)
 	}
 	return old2new
+}
+
+// SubDesign is one partition of a parent graph lifted into a standalone
+// design, the unit of hierarchical flows: each sub-design can run a
+// full synthesis flow on its own (even on its own fleet machine) and
+// StitchSubDesigns reassembles the results. The interface is the
+// contract: Graph's inputs are backed by the parent variables in
+// Imports, its first len(Outputs) outputs realize the parent primary
+// outputs listed in Outputs, and the remaining outputs drive the parent
+// variables in Exports — owned nodes that other partitions reference.
+// Any transformation that preserves input count and per-output function
+// (every synthesis pass does) keeps the sub-design stitchable.
+type SubDesign struct {
+	Graph *Graph
+	// Imports holds the parent variables backing Graph's inputs, in
+	// input order (ascending): primary inputs of the parent and nodes
+	// owned by lower-index partitions.
+	Imports []int32
+	// Outputs holds the parent primary-output indices realized by
+	// Graph's first len(Outputs) outputs, in order.
+	Outputs []int
+	// Exports holds the parent variables driven by Graph's remaining
+	// outputs, ascending.
+	Exports []int32
+}
+
+// ExtractSubDesigns lifts every partition of cp into a standalone
+// SubDesign. Cross-partition references always point from a partition
+// into a strictly lower-index one (see the package comment), so the
+// sub-designs form a DAG that StitchSubDesigns can reassemble in
+// ascending order. The extraction is serial and reuses one var-indexed
+// scratch across partitions, so its footprint is O(NumVars) plus the
+// sub-graphs themselves.
+func (g *Graph) ExtractSubDesigns(cp *ConePartitioning) []SubDesign {
+	n := cp.NumParts()
+	subs := make([]SubDesign, n)
+	exportsOf := make([][]int32, n)
+	exported := make([]bool, len(g.nodes))
+	mark := make([]bool, len(g.nodes))
+
+	// Pass 1: each partition's foreign reference set — direct fanins of
+	// owned nodes plus the vars of its assigned primary outputs — split
+	// into imports (of this partition) and exports (of the owner).
+	for pi := 0; pi < n; pi++ {
+		part := &cp.Parts[pi]
+		var imp []int32
+		foreign := func(u int) {
+			if u == 0 || cp.Owner[u] == int32(pi) || mark[u] {
+				return
+			}
+			mark[u] = true
+			imp = append(imp, int32(u))
+			if pj := cp.Owner[u]; pj >= 0 && !exported[u] {
+				exported[u] = true
+				exportsOf[pj] = append(exportsOf[pj], int32(u))
+			}
+		}
+		for _, v := range part.Nodes {
+			f0, f1 := g.Fanins(int(v))
+			foreign(f0.Var())
+			foreign(f1.Var())
+		}
+		for _, oi := range part.Outputs {
+			foreign(g.outputs[oi].Var())
+		}
+		slices.Sort(imp)
+		subs[pi].Imports = imp
+		subs[pi].Outputs = append([]int(nil), part.Outputs...)
+		for _, u := range imp {
+			mark[u] = false
+		}
+	}
+
+	// Pass 2: build each sub-graph — placeholder inputs, owned nodes in
+	// topological order, primary outputs then export outputs.
+	o2n := make([]Lit, len(g.nodes))
+	o2n[0] = False
+	for pi := 0; pi < n; pi++ {
+		part := &cp.Parts[pi]
+		sub := &subs[pi]
+		sg := New(fmt.Sprintf("%s/p%03d", g.Name, pi))
+		for _, u := range sub.Imports {
+			o2n[u] = sg.AddInput("")
+		}
+		for _, v := range part.Nodes {
+			f0, f1 := g.Fanins(int(v))
+			a := o2n[f0.Var()].NotIf(f0.IsNeg())
+			b := o2n[f1.Var()].NotIf(f1.IsNeg())
+			o2n[v] = sg.And(a, b)
+		}
+		for _, oi := range part.Outputs {
+			o := g.outputs[oi]
+			sg.AddOutput(o2n[o.Var()].NotIf(o.IsNeg()), g.OutputName(oi))
+		}
+		slices.Sort(exportsOf[pi])
+		sub.Exports = exportsOf[pi]
+		for _, u := range sub.Exports {
+			sg.AddOutput(o2n[u], "")
+		}
+		sub.Graph = sg
+		for _, u := range sub.Imports {
+			o2n[u] = 0
+		}
+		for _, v := range part.Nodes {
+			o2n[v] = 0
+		}
+	}
+	return subs
+}
+
+// StitchSubDesigns reassembles a full design from the sub-designs of a
+// cone partitioning, in ascending partition order: each sub-design's
+// placeholder inputs map to the stitched literals of parent inputs and
+// lower partitions' exports, its nodes re-strash against the
+// accumulated graph, and its outputs resolve the parent primary
+// outputs (restored to their original order) and the exported
+// variables. The subs may have been independently re-synthesized since
+// extraction — stitching only relies on the SubDesign interface, not
+// on the extracted structure.
+func StitchSubDesigns(g *Graph, cp *ConePartitioning, subs []SubDesign) *Graph {
+	ng := New(g.Name)
+	final := make([]Lit, len(g.nodes))
+	final[0] = False
+	for i, v := range g.inputs {
+		final[v] = ng.AddInput(g.InputName(i))
+	}
+	outLits := make([]Lit, len(g.outputs))
+	for pi := range subs {
+		sub := &subs[pi]
+		inMap := make([]Lit, len(sub.Imports))
+		for i, u := range sub.Imports {
+			inMap[i] = final[u]
+		}
+		m := ng.Append(sub.Graph, inMap)
+		souts := sub.Graph.Outputs()
+		if len(souts) != len(sub.Outputs)+len(sub.Exports) {
+			panic("aig: sub-design output arity mismatch")
+		}
+		for j, oi := range sub.Outputs {
+			so := souts[j]
+			outLits[oi] = m[so.Var()].NotIf(so.IsNeg())
+		}
+		for j, u := range sub.Exports {
+			so := souts[len(sub.Outputs)+j]
+			final[u] = m[so.Var()].NotIf(so.IsNeg())
+		}
+	}
+	for oi, l := range outLits {
+		ng.AddOutput(l, g.OutputName(oi))
+	}
+	return ng
 }

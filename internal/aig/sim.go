@@ -10,8 +10,10 @@ type Simulator struct {
 	words []uint64 // one 64-pattern word per variable
 }
 
-// NewSimulator allocates a simulator for g. The simulator becomes stale
-// if the graph grows; allocate a fresh one after structural changes.
+// NewSimulator allocates a simulator for g. The simulator stays valid
+// across structural changes: if the graph has grown since the last run,
+// Run zero-fills the widened scratch before simulating, so no stale
+// word from the old layout can leak into a result.
 func NewSimulator(g *Graph) *Simulator {
 	return &Simulator{g: g, words: make([]uint64, g.NumVars())}
 }
@@ -24,8 +26,15 @@ func (s *Simulator) Run(inputs []uint64) []uint64 {
 	if len(inputs) != g.NumInputs() {
 		panic("aig: simulator input width mismatch")
 	}
-	if len(s.words) < g.NumVars() {
-		s.words = make([]uint64, g.NumVars())
+	if n := g.NumVars(); len(s.words) < n {
+		// The graph grew since construction: widen the scratch and
+		// zero-fill it, reusing capacity when the slice allows.
+		if cap(s.words) >= n {
+			s.words = s.words[:n]
+			clear(s.words)
+		} else {
+			s.words = make([]uint64, n)
+		}
 	}
 	w := s.words
 	w[0] = 0

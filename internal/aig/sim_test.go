@@ -1,0 +1,47 @@
+package aig
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSimulatorZeroFillsOnGrow: a simulator built before structural
+// changes must produce the same results as a fresh one after the graph
+// grows — Run widens and zero-fills its scratch instead of leaving
+// stale words behind.
+func TestSimulatorZeroFillsOnGrow(t *testing.T) {
+	g := randGraph(9, 6, 50, 4)
+	sim := NewSimulator(g)
+	rng := rand.New(rand.NewSource(1))
+	in := make([]uint64, g.NumInputs())
+	for i := range in {
+		in[i] = rng.Uint64()
+	}
+	first := sim.Run(in)
+
+	// Grow the graph: new logic over the existing inputs plus an extra
+	// output, leaving the original outputs in place.
+	ins := g.InputVars()
+	acc := MakeLit(ins[0], false)
+	for _, v := range ins[1:] {
+		acc = g.And(acc, MakeLit(v, true)).Not()
+	}
+	g.AddOutput(acc, "grown")
+
+	got := sim.Run(in)
+	want := NewSimulator(g).Run(in)
+	if len(got) != len(want) {
+		t.Fatalf("output width %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("output %d: stale simulator word %x, fresh %x", i, got[i], want[i])
+		}
+	}
+	// The pre-growth outputs must also be untouched by the growth.
+	for i := range first {
+		if got[i] != first[i] {
+			t.Fatalf("output %d changed across growth: %x vs %x", i, got[i], first[i])
+		}
+	}
+}

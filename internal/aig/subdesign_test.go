@@ -1,0 +1,114 @@
+package aig
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestExtractStitchRoundTrip: lifting every partition into a standalone
+// sub-design and stitching them back must reproduce the function, the
+// I/O shape and the port names.
+func TestExtractStitchRoundTrip(t *testing.T) {
+	for _, grain := range []int{10, 40, 1 << 30} {
+		g := randGraph(17, 8, 300, 12)
+		cp := g.PartitionCones(grain)
+		subs := g.ExtractSubDesigns(cp)
+		if len(subs) != cp.NumParts() {
+			t.Fatalf("grain %d: %d subs for %d partitions", grain, len(subs), cp.NumParts())
+		}
+		ng := StitchSubDesigns(g, cp, subs)
+		if !SimEquiv(g, ng, 3, 16) {
+			t.Fatalf("grain %d: stitched graph differs from original", grain)
+		}
+		if ng.NumInputs() != g.NumInputs() || ng.NumOutputs() != g.NumOutputs() {
+			t.Fatalf("grain %d: stitched I/O %d/%d, want %d/%d",
+				grain, ng.NumInputs(), ng.NumOutputs(), g.NumInputs(), g.NumOutputs())
+		}
+	}
+}
+
+// TestSubDesignInterfaceInvariants: each sub-design's Graph matches its
+// declared interface, reference lists are ascending, and imports only
+// name parent inputs or nodes owned by strictly lower partitions.
+func TestSubDesignInterfaceInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randGraph(seed, 7, 200, 10)
+		cp := g.PartitionCones(30)
+		subs := g.ExtractSubDesigns(cp)
+		for pi, sub := range subs {
+			if sub.Graph.NumInputs() != len(sub.Imports) {
+				return false
+			}
+			if sub.Graph.NumOutputs() != len(sub.Outputs)+len(sub.Exports) {
+				return false
+			}
+			for i, u := range sub.Imports {
+				if i > 0 && sub.Imports[i-1] >= u {
+					return false
+				}
+				if own := cp.Owner[u]; own >= int32(pi) {
+					return false
+				}
+			}
+			for i, u := range sub.Exports {
+				if i > 0 && sub.Exports[i-1] >= u {
+					return false
+				}
+				if cp.Owner[u] != int32(pi) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStitchAfterIndependentRework: sub-designs transformed between
+// extraction and stitching — here swept, the function-preserving
+// transformation available at this layer — still stitch to an
+// equivalent whole. This is the contract hierarchical flows rely on
+// when every sub-design runs its own synthesis job.
+func TestStitchAfterIndependentRework(t *testing.T) {
+	g := randGraph(23, 8, 250, 10)
+	cp := g.PartitionCones(40)
+	subs := g.ExtractSubDesigns(cp)
+	for i := range subs {
+		swept, _ := subs[i].Graph.Sweep()
+		swept.Name = subs[i].Graph.Name
+		subs[i].Graph = swept
+	}
+	ng := StitchSubDesigns(g, cp, subs)
+	if !SimEquiv(g, ng, 5, 16) {
+		t.Fatal("stitch after per-sub rework changed function")
+	}
+}
+
+// TestExtractSubDesignsDegenerate: graphs with no outputs produce no
+// sub-designs and stitch back to an input-only shell; constant outputs
+// survive the round trip.
+func TestExtractSubDesignsDegenerate(t *testing.T) {
+	g := New("empty")
+	g.AddInput("a")
+	cp := g.PartitionCones(8)
+	subs := g.ExtractSubDesigns(cp)
+	if len(subs) != 0 {
+		t.Fatalf("no-output graph produced %d subs", len(subs))
+	}
+	ng := StitchSubDesigns(g, cp, subs)
+	if ng.NumInputs() != 1 || ng.NumOutputs() != 0 {
+		t.Fatalf("degenerate stitch: %d inputs, %d outputs", ng.NumInputs(), ng.NumOutputs())
+	}
+
+	h := New("const")
+	a := h.AddInput("a")
+	h.AddOutput(True, "t")
+	h.AddOutput(a, "w")
+	hcp := h.PartitionCones(8)
+	hng := StitchSubDesigns(h, hcp, h.ExtractSubDesigns(hcp))
+	if !SimEquiv(h, hng, 1, 4) {
+		t.Fatal("constant/wire outputs broken by round trip")
+	}
+}

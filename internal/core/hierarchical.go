@@ -1,0 +1,40 @@
+package core
+
+import (
+	"fmt"
+
+	"edacloud/internal/aig"
+	"edacloud/internal/flow"
+)
+
+// HierarchicalResult bundles one hierarchical batch run: the split, the
+// contended schedule of its sub-design jobs and the stitched
+// design-level graph.
+type HierarchicalResult struct {
+	Batch    *flow.HierarchicalBatch
+	Schedule *flow.Schedule
+	Stitched *aig.Graph
+}
+
+// RunHierarchicalBatch splits base.Design into cone partitions of
+// roughly grain AND nodes, schedules one flow job per partition on
+// sch's fleet, and stitches the optimized sub-designs back into one
+// graph. It is the workflow-level entry for million-gate designs: one
+// design too large for a single machine becomes a batch of
+// partition-sized jobs that the same placement simulation, policies
+// and forecasts handle like any other batch.
+func RunHierarchicalBatch(sch *flow.Scheduler, base flow.Job, grain int) (*HierarchicalResult, error) {
+	hb, err := flow.Hierarchical(base, grain)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	schedule, err := sch.Run(nil, hb.Jobs)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	stitched, err := hb.Stitch(schedule.Jobs)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &HierarchicalResult{Batch: hb, Schedule: schedule, Stitched: stitched}, nil
+}

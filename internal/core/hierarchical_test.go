@@ -1,0 +1,47 @@
+package core
+
+import (
+	"testing"
+
+	"edacloud/internal/aig"
+	"edacloud/internal/cloud"
+	"edacloud/internal/designs"
+	"edacloud/internal/flow"
+	"edacloud/internal/synth"
+	"edacloud/internal/techlib"
+)
+
+// TestRunHierarchicalBatch: the workflow-level wrapper splits a design,
+// schedules its partitions on a bounded fleet and hands back a stitched
+// graph equivalent to the original, with the schedule's job list
+// matching the split.
+func TestRunHierarchicalBatch(t *testing.T) {
+	g := designs.MustEvalDesign("aes", 0.02)
+	catalog := cloud.DefaultCatalog()
+	fleet, err := cloud.ParseFleetSpec(catalog, "gp.4x=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := flow.Job{
+		Design:  g,
+		Lib:     techlib.Default14nm(),
+		Options: []flow.Option{flow.WithStages(flow.Synthesis(synth.Options{}))},
+	}
+	sch := &flow.Scheduler{Fleet: fleet, Policy: flow.FirstFit{}}
+	res, err := RunHierarchicalBatch(sch, base, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Schedule.Jobs) != len(res.Batch.Jobs) || len(res.Batch.Jobs) < 2 {
+		t.Fatalf("schedule has %d jobs for %d sub-designs", len(res.Schedule.Jobs), len(res.Batch.Jobs))
+	}
+	if res.Schedule.MakespanSec <= 0 {
+		t.Fatal("hierarchical batch has no makespan")
+	}
+	if !aig.SimEquiv(g, res.Stitched, 9, 16) {
+		t.Fatal("stitched graph not equivalent to the design")
+	}
+	if res.Stitched.Name != g.Name {
+		t.Fatalf("stitched graph named %q, want %q", res.Stitched.Name, g.Name)
+	}
+}

@@ -406,3 +406,33 @@ func TestMustEvalDesignPanics(t *testing.T) {
 	}()
 	MustEvalDesign("nope", 1)
 }
+
+// TestMillionFamilySpecs: the family is ordered by size, member IDs are
+// unique, and the smallest member realizes its approximate AND count
+// and enough output cones for design-level parallelism. The larger
+// members are generator rescalings of already-tested designs, so only
+// the cheapest one is built here.
+func TestMillionFamilySpecs(t *testing.T) {
+	fam := MillionFamily()
+	if len(fam) < 4 {
+		t.Fatalf("family has %d members", len(fam))
+	}
+	ids := map[string]bool{}
+	for i, s := range fam {
+		if ids[s.ID()] {
+			t.Fatalf("duplicate family ID %s", s.ID())
+		}
+		ids[s.ID()] = true
+		if i > 0 && fam[i-1].ApproxAnds >= s.ApproxAnds {
+			t.Fatalf("family not ascending at %s", s.ID())
+		}
+	}
+	g := fam[0].Build()
+	ratio := float64(g.NumAnds()) / float64(fam[0].ApproxAnds)
+	if ratio < 0.7 || ratio > 1.3 {
+		t.Fatalf("%s realized %d ands, spec says ~%d", fam[0].ID(), g.NumAnds(), fam[0].ApproxAnds)
+	}
+	if cp := g.PartitionCones(96); cp.NumParts() < 100 {
+		t.Fatalf("%s yields only %d partitions", fam[0].ID(), cp.NumParts())
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"edacloud/internal/cloud"
+	"edacloud/internal/designs"
 )
 
 // This file is the policy conformance suite: table-driven invariants
@@ -108,8 +109,23 @@ func conformanceCases() []conformanceCase {
 		}
 		return jobs
 	}
+	hierJobs := func(t *testing.T) []Job {
+		hb, err := Hierarchical(Job{
+			Design:    designs.MustEvalDesign("aes", testScale),
+			Lib:       lib,
+			WorkScale: 2e4,
+		}, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hb.Jobs
+	}
 	return []conformanceCase{
 		{name: "single-instance", policy: SingleInstance{}, fleetSpec: "mem.4x=2", jobs: singleJobs},
+		// Hierarchical batches are plain jobs — one huge design's cone
+		// partitions contending for the fleet must satisfy every
+		// scheduler invariant unchanged.
+		{name: "hierarchical-first-fit", policy: FirstFit{}, fleetSpec: "gp.4x=1,mem.4x=1,cpu.2x=1", jobs: hierJobs},
 		{name: "single-instance-minbill", policy: SingleInstance{}, fleetSpec: "mem.4x=2", minBill: 60, jobs: singleJobs},
 		{name: "first-fit", policy: FirstFit{}, fleetSpec: "gp.4x=1,mem.4x=1,cpu.2x=1", jobs: func(t *testing.T) []Job {
 			return fleetJobs(t, 5)

@@ -4,6 +4,13 @@
 package ints
 
 // Max returns the larger of a and b.
+func Min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
 func Max(a, b int) int {
 	if a > b {
 		return a

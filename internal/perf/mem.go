@@ -1,0 +1,87 @@
+package perf
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// MemWatermark tracks the process heap high-water mark across a
+// measured region, from runtime.ReadMemStats snapshots. Unlike the
+// Probe — which simulates a machine — this measures the real host, so
+// benchmark output can report peak memory alongside runtime and a
+// regression in shard-scratch footprint shows up like a runtime
+// regression would. Sampling only observes the runtime's allocator
+// statistics; it never influences the simulated results.
+type MemWatermark struct {
+	mu       sync.Mutex
+	baseline uint64
+	peak     uint64
+}
+
+// NewMemWatermark garbage-collects and records the current live heap
+// as the baseline, so PeakDeltaBytes isolates the measured region's
+// own footprint from whatever the process already held.
+func NewMemWatermark() *MemWatermark {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return &MemWatermark{baseline: ms.HeapAlloc, peak: ms.HeapAlloc}
+}
+
+// Sample reads the current heap size and folds it into the peak. Call
+// it at phase boundaries, or let Watch call it on a timer.
+func (m *MemWatermark) Sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m.mu.Lock()
+	if ms.HeapAlloc > m.peak {
+		m.peak = ms.HeapAlloc
+	}
+	m.mu.Unlock()
+}
+
+// Watch samples on the given interval in a background goroutine until
+// the returned stop function is called. Stop takes a final sample, so
+// short regions are never observed zero times.
+func (m *MemWatermark) Watch(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				m.Sample()
+			}
+		}
+	}()
+	return func() {
+		once.Do(func() {
+			close(done)
+			m.Sample()
+		})
+	}
+}
+
+// PeakBytes returns the highest heap size observed by any sample,
+// including the baseline.
+func (m *MemWatermark) PeakBytes() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.peak
+}
+
+// PeakDeltaBytes returns the peak growth over the baseline — the
+// measured region's own high-water mark.
+func (m *MemWatermark) PeakDeltaBytes() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.peak < m.baseline {
+		return 0
+	}
+	return m.peak - m.baseline
+}

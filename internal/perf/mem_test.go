@@ -1,0 +1,46 @@
+package perf
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMemWatermarkSeesAllocation: a large allocation inside the watched
+// region must raise the peak delta by roughly its size.
+func TestMemWatermarkSeesAllocation(t *testing.T) {
+	const size = 64 << 20
+	wm := NewMemWatermark()
+	buf := make([]byte, size)
+	for i := 0; i < len(buf); i += 4096 {
+		buf[i] = 1
+	}
+	wm.Sample()
+	if buf[4096] != 1 {
+		t.Fatal("unexpected buffer contents") // keep buf live past Sample
+	}
+	if d := wm.PeakDeltaBytes(); d < size/2 {
+		t.Fatalf("peak delta %d after allocating %d bytes", d, size)
+	}
+	if wm.PeakBytes() < wm.PeakDeltaBytes() {
+		t.Fatal("peak below delta")
+	}
+}
+
+// TestMemWatermarkWatchStops: the sampler goroutine honors stop, stop
+// is idempotent, and a final sample lands even for short regions.
+func TestMemWatermarkWatchStops(t *testing.T) {
+	wm := NewMemWatermark()
+	stop := wm.Watch(time.Millisecond)
+	buf := make([]byte, 32<<20)
+	for i := 0; i < len(buf); i += 4096 {
+		buf[i] = 1
+	}
+	stop()
+	stop() // idempotent
+	if buf[4096] != 1 {
+		t.Fatal("unexpected buffer contents")
+	}
+	if wm.PeakDeltaBytes() < 16<<20 {
+		t.Fatalf("watch missed the allocation: delta %d", wm.PeakDeltaBytes())
+	}
+}

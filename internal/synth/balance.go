@@ -42,14 +42,9 @@ func balancePool(g *aig.Graph, probe *perf.Probe, pool *par.Pool) (*aig.Graph, p
 	fanout := g.FanoutCounts()
 	srcLv := g.Levels()
 
-	instrsBefore := probe.Counters().Instrs
-	shards := make([]shardBuild, cp.NumParts())
-	pool.ForProbe(probe, cp.NumParts(), 1, func(lo, hi, _ int, probe *perf.Probe) {
-		for pi := lo; pi < hi; pi++ {
-			shards[pi] = balancePartition(g, cp, pi, fanout, srcLv, probe)
-		}
+	shards, parInstrs := forPartitions(probe, pool, cp.NumParts(), func(pi int, sc *shardScratch, probe *perf.Probe) shardBuild {
+		return balancePartition(g, cp, pi, fanout, srcLv, sc, probe)
 	})
-	parInstrs := probe.Counters().Instrs - instrsBefore
 
 	ng := mergeShards(g, cp, shards, probe)
 	return ng, passStats{chunks: cp.NumParts(), parallelInstrs: parInstrs}
@@ -59,20 +54,23 @@ func balancePool(g *aig.Graph, probe *perf.Probe, pool *par.Pool) (*aig.Graph, p
 // table, exact incremental levels for every operand.
 func balanceSerial(g *aig.Graph, probe *perf.Probe) *aig.Graph {
 	ng := aig.New(g.Name)
-	old2new := make([]aig.Lit, g.NumVars())
-	old2new[0] = aig.False
-	// Incrementally tracked levels of the new graph's variables.
-	lvl := make([]int32, 1, g.NumVars())
+	var o2n litMap
+	o2n.reset(g.NumVars())
+	o2n.set(0, aig.False)
+	// Incrementally tracked levels of the new graph's variables. Seed
+	// with the inputs only and let append grow it: balancing shrinks or
+	// preserves size, so reserving g.NumVars() up front over-commits.
+	lvl := make([]int32, 1, g.NumInputs()+1)
 	for i, v := range g.InputVars() {
-		old2new[v] = ng.AddInput(g.InputName(i))
+		o2n.set(v, ng.AddInput(g.InputName(i)))
 		lvl = append(lvl, 0)
 	}
-	bb := &balancer{g: g, ng: ng, old2new: old2new, lvl: lvl, fanout: g.FanoutCounts()}
+	bb := &balancer{g: g, ng: ng, old2new: &o2n, lvl: lvl, fanout: g.FanoutCounts()}
 	g.TopoAnds(func(v int, f0, f1 aig.Lit) {
 		bb.balanceNode(v, probe)
 	})
 	for i, o := range g.Outputs() {
-		ng.AddOutput(old2new[o.Var()].NotIf(o.IsNeg()), g.OutputName(i))
+		ng.AddOutput(o2n.get(o.Var()).NotIf(o.IsNeg()), g.OutputName(i))
 	}
 	return sweepAccounted(ng, g.Name, probe)
 }
@@ -83,29 +81,25 @@ func balanceSerial(g *aig.Graph, probe *perf.Probe) *aig.Graph {
 // solely through it and is therefore owned too) become placeholder
 // inputs whose level is taken from the source graph — the best
 // available estimate of their merged depth.
-func balancePartition(g *aig.Graph, cp *aig.ConePartitioning, pi int, fanout, srcLv []int32, probe *perf.Probe) shardBuild {
+func balancePartition(g *aig.Graph, cp *aig.ConePartitioning, pi int, fanout, srcLv []int32, sc *shardScratch, probe *perf.Probe) shardBuild {
 	part := cp.Parts[pi]
-	leafVars := partitionLeaves(g, cp, pi, nil, 0, 0)
-	sg := aig.New(g.Name)
-	old2new := make([]aig.Lit, g.NumVars())
-	old2new[0] = aig.False
+	sg, leafVars := beginShard(g, cp, pi, nil, 0, 0, sc)
 	lvl := make([]int32, 1, len(part.Nodes)+len(leafVars)+1)
 	for _, lv := range leafVars {
-		old2new[lv] = sg.AddInput("")
 		lvl = append(lvl, srcLv[lv])
 	}
-	bb := &balancer{g: g, ng: sg, old2new: old2new, lvl: lvl, fanout: fanout}
+	bb := &balancer{g: g, ng: sg, old2new: &sc.o2n, lvl: lvl, fanout: fanout}
 	for _, v := range part.Nodes {
 		bb.balanceNode(int(v), probe)
 	}
-	return shardBuild{sg: sg, leafVars: leafVars, old2new: old2new}
+	return shardBuild{sg: sg, leafVars: leafVars, owned: ownedLits(cp, pi, &sc.o2n)}
 }
 
 // balancer carries the shared state of one balance target (the whole
 // graph on the serial path, one shard on the partitioned path).
 type balancer struct {
 	g, ng   *aig.Graph
-	old2new []aig.Lit
+	old2new *litMap
 	lvl     []int32 // levels of ng's variables, tracked incrementally
 	fanout  []int32 // fanout counts of the *source* graph
 }
@@ -134,7 +128,7 @@ func (bb *balancer) gather(l aig.Lit, root bool, leaves *[]aig.Lit, probe *perf.
 	expand := bb.g.IsAnd(v) && !l.IsNeg() && (root || bb.fanout[v] == 1)
 	probe.Branch(brBalanceExpand, expand)
 	if !expand {
-		*leaves = append(*leaves, bb.old2new[v].NotIf(l.IsNeg()))
+		*leaves = append(*leaves, bb.old2new.get(v).NotIf(l.IsNeg()))
 		return
 	}
 	f0, f1 := bb.g.Fanins(v)
@@ -147,7 +141,7 @@ func (bb *balancer) gather(l aig.Lit, root bool, leaves *[]aig.Lit, probe *perf.
 func (bb *balancer) balanceNode(v int, probe *perf.Probe) {
 	var leaves []aig.Lit
 	bb.gather(aig.MakeLit(v, false), true, &leaves, probe)
-	bb.old2new[v] = balancedAnd(bb.andL, func(l aig.Lit) int32 { return bb.lvl[l.Var()] }, leaves, probe)
+	bb.old2new.set(v, balancedAnd(bb.andL, func(l aig.Lit) int32 { return bb.lvl[l.Var()] }, leaves, probe))
 	probe.Ops(2)
 }
 

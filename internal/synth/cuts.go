@@ -213,32 +213,23 @@ func sameLeaves(a, b []int32) bool {
 	return true
 }
 
-// ttScratch is a reusable truth-table memo keyed by node id. Epoch
-// stamping makes reset O(1), so the innermost mapping loop no longer
-// allocates a map per cut.
+// ttScratch is a reusable truth-table memo keyed by node id, built on
+// the shared epoch-stamping core (scratch.go): reset is O(1), so the
+// innermost mapping loop neither allocates a map per cut nor clears an
+// array per call.
 type ttScratch struct {
-	tt    []uint64
-	epoch []uint32
-	cur   uint32
+	tt []uint64
+	st epochStamps
 }
 
 func (s *ttScratch) reset(nvars int) {
-	if len(s.tt) < nvars {
+	if s.st.reset(nvars) {
 		s.tt = make([]uint64, nvars)
-		s.epoch = make([]uint32, nvars)
-		s.cur = 0
-	}
-	s.cur++
-	if s.cur == 0 { // epoch counter wrapped: invalidate everything
-		for i := range s.epoch {
-			s.epoch[i] = 0
-		}
-		s.cur = 1
 	}
 }
 
 func (s *ttScratch) get(v int) (uint64, bool) {
-	if s.epoch[v] == s.cur {
+	if s.st.has(v) {
 		return s.tt[v], true
 	}
 	return 0, false
@@ -246,7 +237,7 @@ func (s *ttScratch) get(v int) (uint64, bool) {
 
 func (s *ttScratch) set(v int, tt uint64) {
 	s.tt[v] = tt
-	s.epoch[v] = s.cur
+	s.st.stamp(v)
 }
 
 // cutTT computes the truth table of variable root over the cut leaves

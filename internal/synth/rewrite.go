@@ -89,14 +89,10 @@ func rebuildWithCuts(g *aig.Graph, probe *perf.Probe, pool *par.Pool, k, maxCuts
 		return rebuildSerial(g, probe, cuts, k, tryCuts, brSite), passStats{chunks: chunks, parallelInstrs: parInstrs}
 	}
 
-	instrsBefore := probe.Counters().Instrs
-	shards := make([]shardBuild, cp.NumParts())
-	pool.ForProbe(probe, cp.NumParts(), 1, func(lo, hi, _ int, probe *perf.Probe) {
-		for pi := lo; pi < hi; pi++ {
-			shards[pi] = rebuildPartition(g, cp, pi, cuts, k, tryCuts, brSite, probe)
-		}
+	shards, rebuildInstrs := forPartitions(probe, pool, cp.NumParts(), func(pi int, sc *shardScratch, probe *perf.Probe) shardBuild {
+		return rebuildPartition(g, cp, pi, cuts, k, tryCuts, brSite, sc, probe)
 	})
-	parInstrs += probe.Counters().Instrs - instrsBefore
+	parInstrs += rebuildInstrs
 
 	ng := mergeShards(g, cp, shards, probe)
 	return ng, passStats{chunks: chunks, parallelInstrs: parInstrs}
@@ -106,17 +102,18 @@ func rebuildWithCuts(g *aig.Graph, probe *perf.Probe, pool *par.Pool, k, maxCuts
 // table, nodes visited in global topological order.
 func rebuildSerial(g *aig.Graph, probe *perf.Probe, cuts *cutEnum, k, tryCuts int, brSite uint64) *aig.Graph {
 	ng := aig.New(g.Name)
-	old2new := make([]aig.Lit, g.NumVars())
-	old2new[0] = aig.False
+	var sc shardScratch
+	sc.o2n.reset(g.NumVars())
+	sc.o2n.set(0, aig.False)
 	for i, v := range g.InputVars() {
-		old2new[v] = ng.AddInput(g.InputName(i))
+		sc.o2n.set(v, ng.AddInput(g.InputName(i)))
 	}
-	rb := &rebuilder{g: g, ng: ng, old2new: old2new, cuts: cuts, k: k, tryCuts: tryCuts, brSite: brSite}
+	rb := &rebuilder{g: g, ng: ng, old2new: &sc.o2n, cuts: cuts, k: k, tryCuts: tryCuts, brSite: brSite, tts: &sc.tts}
 	g.TopoAnds(func(v int, f0, f1 aig.Lit) {
 		rb.rebuildNode(v, f0, f1, probe)
 	})
 	for i, o := range g.Outputs() {
-		ng.AddOutput(old2new[o.Var()].NotIf(o.IsNeg()), g.OutputName(i))
+		ng.AddOutput(sc.o2n.get(o.Var()).NotIf(o.IsNeg()), g.OutputName(i))
 	}
 	return sweepAccounted(ng, g.Name, probe)
 }
@@ -130,11 +127,14 @@ func partitionAccounted(g *aig.Graph, probe *perf.Probe) *aig.ConePartitioning {
 
 // shardBuild is one partition's resynthesis product: the private shard
 // graph, the original variables backing its placeholder inputs (in
-// input order), and the original-variable -> shard-literal map.
+// input order), and the shard literal of each owned node, parallel to
+// the partition's Nodes list. All three are proportional to the
+// partition, not the graph — the pooled var-indexed scratch is handed
+// back to the worker as soon as the partition finishes.
 type shardBuild struct {
 	sg       *aig.Graph
 	leafVars []int32
-	old2new  []aig.Lit
+	owned    []aig.Lit
 }
 
 // rebuildPartition resynthesizes the nodes owned by partition pi into
@@ -144,21 +144,14 @@ type shardBuild struct {
 // ascending original-variable order. The function reads g and the cut
 // lists only (both frozen before the parallel region), so partitions
 // are safe to run concurrently.
-func rebuildPartition(g *aig.Graph, cp *aig.ConePartitioning, pi int, cuts *cutEnum, k, tryCuts int, brSite uint64, probe *perf.Probe) shardBuild {
-	part := cp.Parts[pi]
-	leafVars := partitionLeaves(g, cp, pi, cuts, k, tryCuts)
-	sg := aig.New(g.Name)
-	old2new := make([]aig.Lit, g.NumVars())
-	old2new[0] = aig.False
-	for _, lv := range leafVars {
-		old2new[lv] = sg.AddInput("")
-	}
-	rb := &rebuilder{g: g, ng: sg, old2new: old2new, cuts: cuts, k: k, tryCuts: tryCuts, brSite: brSite}
-	for _, v := range part.Nodes {
+func rebuildPartition(g *aig.Graph, cp *aig.ConePartitioning, pi int, cuts *cutEnum, k, tryCuts int, brSite uint64, sc *shardScratch, probe *perf.Probe) shardBuild {
+	sg, leafVars := beginShard(g, cp, pi, cuts, k, tryCuts, sc)
+	rb := &rebuilder{g: g, ng: sg, old2new: &sc.o2n, cuts: cuts, k: k, tryCuts: tryCuts, brSite: brSite, tts: &sc.tts}
+	for _, v := range cp.Parts[pi].Nodes {
 		f0, f1 := g.Fanins(int(v))
 		rb.rebuildNode(int(v), f0, f1, probe)
 	}
-	return shardBuild{sg: sg, leafVars: leafVars, old2new: old2new}
+	return shardBuild{sg: sg, leafVars: leafVars, owned: ownedLits(cp, pi, &sc.o2n)}
 }
 
 // partitionLeaves collects, in ascending order, every variable that
@@ -170,13 +163,14 @@ func rebuildPartition(g *aig.Graph, cp *aig.ConePartitioning, pi int, cuts *cutE
 // build state — so the reference sets stay small. The constant node is
 // excluded — shards map it directly. Marked vars are gathered during
 // marking and sorted, so the cost scales with the partition's
-// reference set, not the whole graph.
-func partitionLeaves(g *aig.Graph, cp *aig.ConePartitioning, pi int, cuts *cutEnum, k, tryCuts int) []int32 {
-	mark := make([]bool, g.NumVars())
+// reference set, not the whole graph; mark is the caller's pooled
+// epoch-stamped set, reset here in O(1).
+func partitionLeaves(g *aig.Graph, cp *aig.ConePartitioning, pi int, cuts *cutEnum, k, tryCuts int, mark *epochStamps) []int32 {
+	mark.reset(g.NumVars())
 	var out []int32
 	foreign := func(u int) {
-		if u != 0 && cp.Owner[u] != int32(pi) && !mark[u] {
-			mark[u] = true
+		if u != 0 && cp.Owner[u] != int32(pi) && !mark.has(u) {
+			mark.stamp(u)
 			out = append(out, int32(u))
 		}
 	}
@@ -240,8 +234,8 @@ func mergeShards(g *aig.Graph, cp *aig.ConePartitioning, shards []shardBuild, pr
 			probe.LoopBranches(2)
 		})
 		probe.LoadCold((ng.NumVars() - before) / 4)
-		for _, v := range cp.Parts[pi].Nodes {
-			sl := sb.old2new[v]
+		for i, v := range cp.Parts[pi].Nodes {
+			sl := sb.owned[i]
 			final[v] = m[sl.Var()].NotIf(sl.IsNeg())
 		}
 	}
@@ -266,12 +260,12 @@ func sweepAccounted(ng *aig.Graph, name string, probe *perf.Probe) *aig.Graph {
 // graph on the serial path, one shard on the partitioned path).
 type rebuilder struct {
 	g, ng   *aig.Graph
-	old2new []aig.Lit
+	old2new *litMap
 	cuts    *cutEnum
 	k       int
 	tryCuts int
 	brSite  uint64
-	tts     ttScratch
+	tts     *ttScratch
 	// coldCredit batches compulsory-miss accounting: fresh node records
 	// are one cache line per four 16-byte records.
 	coldCredit int
@@ -312,8 +306,8 @@ func (rb *rebuilder) rebuildNode(v int, f0, f1 aig.Lit, probe *perf.Probe) {
 	probe.LoopBranches(8)
 
 	// Baseline: direct structural copy.
-	a := rb.old2new[f0.Var()].NotIf(f0.IsNeg())
-	b := rb.old2new[f1.Var()].NotIf(f1.IsNeg())
+	a := rb.old2new.get(f0.Var()).NotIf(f0.IsNeg())
+	b := rb.old2new.get(f1.Var()).NotIf(f1.IsNeg())
 	before := rb.ng.NumVars()
 	best := rb.ng.And(a, b)
 	bestCost := rb.ng.NumVars() - before
@@ -321,7 +315,7 @@ func (rb *rebuilder) rebuildNode(v int, f0, f1 aig.Lit, probe *perf.Probe) {
 	if bestCost == 0 {
 		// Strash hit: nothing can beat a free node.
 		probe.Branch(rb.brSite, false)
-		rb.old2new[v] = best
+		rb.old2new.set(v, best)
 		return
 	}
 
@@ -335,7 +329,7 @@ func (rb *rebuilder) rebuildNode(v int, f0, f1 aig.Lit, probe *perf.Probe) {
 		}
 		tried++
 		n := len(cut.Leaves)
-		tt := cutTT(rb.g, v, cut.Leaves, probe, &rb.tts)
+		tt := cutTT(rb.g, v, cut.Leaves, probe, rb.tts)
 		// ISOP extraction recurses over cofactors; its cost is the
 		// bulk of a resynthesis attempt.
 		probe.Ops(280)
@@ -344,13 +338,13 @@ func (rb *rebuilder) rebuildNode(v int, f0, f1 aig.Lit, probe *perf.Probe) {
 		leafLits := make([]aig.Lit, n)
 		ok := true
 		for i, l := range cut.Leaves {
-			if rb.old2new[l] == 0 && l != 0 {
+			if rb.old2new.get(int(l)) == 0 && l != 0 {
 				// A leaf that was itself swept away (shouldn't
 				// happen in topo order, but stay safe).
 				ok = false
 				break
 			}
-			leafLits[i] = rb.old2new[l]
+			leafLits[i] = rb.old2new.get(int(l))
 		}
 		if !ok {
 			continue
@@ -365,7 +359,7 @@ func (rb *rebuilder) rebuildNode(v int, f0, f1 aig.Lit, probe *perf.Probe) {
 			bestCost = cost
 		}
 	}
-	rb.old2new[v] = best
+	rb.old2new.set(v, best)
 }
 
 // buildCover realizes a cube cover over the given leaf literals,

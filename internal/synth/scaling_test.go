@@ -1,0 +1,63 @@
+package synth
+
+import (
+	"runtime"
+	"testing"
+
+	"edacloud/internal/aig"
+	"edacloud/internal/designs"
+	"edacloud/internal/perf"
+)
+
+// passAllocBytes reports the heap bytes one run of pass allocates on a
+// fresh clone of g, with the clone's own cost subtracted out.
+func passAllocBytes(t *testing.T, g *aig.Graph, pass func(*aig.Graph, *perf.Probe) *aig.Graph) uint64 {
+	t.Helper()
+	c := g.Clone()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	out := pass(c, nil)
+	runtime.ReadMemStats(&after)
+	if out.NumOutputs() != g.NumOutputs() {
+		t.Fatal("pass dropped outputs")
+	}
+	return after.TotalAlloc - before.TotalAlloc
+}
+
+// TestPartitionedPassAllocScaling pins the shard-scratch fix: total
+// allocation of the partitioned passes must grow roughly linearly with
+// design size. The old dense per-partition scratch allocated
+// O(NumVars) per partition — O(NumVars^2/grain) total — so a 10x
+// larger design allocated ~100x the bytes; with pooled epoch-stamped
+// scratch the same 10x step costs ~10x. The 3x-of-linear bound fails
+// loudly on the quadratic behaviour (observed ~60x over linear) while
+// leaving room for constant-factor noise.
+func TestPartitionedPassAllocScaling(t *testing.T) {
+	small := designs.MustBenchmark("adder", 10)
+	large := designs.MustBenchmark("adder", 100)
+	varsRatio := float64(large.NumVars()) / float64(small.NumVars())
+	if varsRatio < 5 {
+		t.Fatalf("size step too small to discriminate: vars ratio %.1f", varsRatio)
+	}
+	for _, tc := range []struct {
+		name string
+		pass func(*aig.Graph, *perf.Probe) *aig.Graph
+	}{
+		{"rewrite", Rewrite},
+		{"refactor", Refactor},
+		{"balance", Balance},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			smallBytes := passAllocBytes(t, small, tc.pass)
+			largeBytes := passAllocBytes(t, large, tc.pass)
+			allocRatio := float64(largeBytes) / float64(smallBytes)
+			t.Logf("%s: %d -> %d bytes (%.1fx for a %.1fx size step)",
+				tc.name, smallBytes, largeBytes, allocRatio, varsRatio)
+			if allocRatio > 3*varsRatio {
+				t.Fatalf("allocation grows super-linearly: %.1fx bytes for %.1fx vars (limit %.1fx) — per-partition scratch is dense again?",
+					allocRatio, varsRatio, 3*varsRatio)
+			}
+		})
+	}
+}

@@ -1,0 +1,134 @@
+package synth
+
+import (
+	"edacloud/internal/aig"
+	"edacloud/internal/ints"
+	"edacloud/internal/par"
+	"edacloud/internal/perf"
+)
+
+// This file holds the pooled per-worker scratch of the cone-parallel
+// rebuild paths. Every partition needs three var-indexed maps — the
+// original-variable -> shard-literal map, the foreign-leaf mark set and
+// the truth-table memo — and allocating them dense per partition made
+// total shard memory O(NumVars^2 / PartitionGrain): a latent quadratic
+// that only bites at million-gate scale. All three now share one
+// epoch-stamped backing per probe shard, reset in O(1) between
+// partitions, so a pass allocates O(ProbeShards * NumVars) scratch
+// total and each partition retains only its own compact result.
+
+// epochStamps is the shared epoch-stamping core: a var-indexed
+// membership set whose reset is O(1) (bump the epoch) instead of O(n)
+// (clear the array). ttScratch, litMap and the leaf-mark set all build
+// on it.
+type epochStamps struct {
+	epoch []uint32
+	cur   uint32
+}
+
+// reset prepares the set for n variables and empties it, reporting
+// whether the backing array was (re)allocated so sibling value arrays
+// can grow in lockstep.
+func (s *epochStamps) reset(n int) (grown bool) {
+	if len(s.epoch) < n {
+		s.epoch = make([]uint32, n)
+		s.cur = 0
+		grown = true
+	}
+	s.cur++
+	if s.cur == 0 { // epoch counter wrapped: invalidate everything
+		for i := range s.epoch {
+			s.epoch[i] = 0
+		}
+		s.cur = 1
+	}
+	return grown
+}
+
+func (s *epochStamps) has(v int) bool { return s.epoch[v] == s.cur }
+func (s *epochStamps) stamp(v int)    { s.epoch[v] = s.cur }
+
+// litMap is an epoch-stamped variable -> literal map with the same
+// semantics as the dense zero-initialized arrays it replaces: absent
+// entries read as 0 (aig.False), which callers treat as "unmapped" for
+// any variable other than the constant.
+type litMap struct {
+	val []aig.Lit
+	st  epochStamps
+}
+
+func (m *litMap) reset(nvars int) {
+	if m.st.reset(nvars) {
+		m.val = make([]aig.Lit, nvars)
+	}
+}
+
+func (m *litMap) get(v int) aig.Lit {
+	if m.st.has(v) {
+		return m.val[v]
+	}
+	return 0
+}
+
+func (m *litMap) set(v int, l aig.Lit) {
+	m.val[v] = l
+	m.st.stamp(v)
+}
+
+// shardScratch is one worker's pooled rebuild scratch: the literal map,
+// the foreign-leaf mark set and the truth-table memo. forPartitions
+// hands each probe shard its own instance, and since a shard's
+// partitions run on a single goroutine in ascending order, reuse is
+// race-free and deterministic.
+type shardScratch struct {
+	o2n  litMap
+	mark epochStamps
+	tts  ttScratch
+}
+
+// forPartitions runs build over every cone partition inside an
+// instrumented parallel region, handing each invocation the pooled
+// scratch of its probe shard, and reports the instructions retired in
+// the region. It is the one shared driver of the rewrite and balance
+// partitioned paths.
+func forPartitions(probe *perf.Probe, pool *par.Pool, n int, build func(pi int, sc *shardScratch, probe *perf.Probe) shardBuild) ([]shardBuild, uint64) {
+	instrsBefore := probe.Counters().Instrs
+	shards := make([]shardBuild, n)
+	scratch := make([]shardScratch, ints.Min(par.ProbeShards, n))
+	pool.ForProbe(probe, n, 1, func(lo, hi, shard int, probe *perf.Probe) {
+		sc := &scratch[shard]
+		for pi := lo; pi < hi; pi++ {
+			shards[pi] = build(pi, sc, probe)
+		}
+	})
+	return shards, probe.Counters().Instrs - instrsBefore
+}
+
+// beginShard starts partition pi's private shard graph: it collects the
+// foreign-leaf set, resets the pooled literal map and maps the constant
+// and the placeholder inputs (ascending original-variable order). The
+// caller rebuilds the partition's owned nodes through sc.o2n and then
+// compacts the result with ownedLits.
+func beginShard(g *aig.Graph, cp *aig.ConePartitioning, pi int, cuts *cutEnum, k, tryCuts int, sc *shardScratch) (*aig.Graph, []int32) {
+	leafVars := partitionLeaves(g, cp, pi, cuts, k, tryCuts, &sc.mark)
+	sg := aig.New(g.Name)
+	sc.o2n.reset(g.NumVars())
+	sc.o2n.set(0, aig.False)
+	for _, lv := range leafVars {
+		sc.o2n.set(int(lv), sg.AddInput(""))
+	}
+	return sg, leafVars
+}
+
+// ownedLits compacts the pooled literal map into the only per-partition
+// state retained until the merge: the shard literal of each owned node,
+// parallel to cp.Parts[pi].Nodes. Its size is the partition's, not the
+// graph's.
+func ownedLits(cp *aig.ConePartitioning, pi int, o2n *litMap) []aig.Lit {
+	part := cp.Parts[pi]
+	out := make([]aig.Lit, len(part.Nodes))
+	for i, v := range part.Nodes {
+		out[i] = o2n.get(int(v))
+	}
+	return out
+}
